@@ -1,0 +1,30 @@
+"""Shared settings for the benchmark harness.
+
+Every paper table / figure has a corresponding ``test_bench_*.py`` file.  The
+benchmarks measure the *measured* quantities (single-batch training time on
+the NumPy engine) at a laptop-friendly scale and print the *analytical*
+quantities (parameters, FLOPs, accelerator energy) at full paper scale, so
+running ``pytest benchmarks/ --benchmark-only`` regenerates every row/series
+the paper reports (see EXPERIMENTS.md for the mapping and the measured
+values).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+#: Scale used for measured (wall-clock) benchmarks: big enough that the
+#: relative timing differences between methods dominate noise, small enough
+#: that the whole benchmark suite finishes in a few minutes on CPU.
+BENCH_SCALE = {
+    "width_scale": 0.25,
+    "image_size": 16,
+    "batch_size": 8,
+    "num_classes": 8,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

@@ -1,0 +1,58 @@
+"""Benchmark for Fig. 4: training-energy simulation on both accelerators.
+
+The measured quantity is the runtime of the analytical energy simulation
+itself (it is pure Python and used in sweeps, so its speed matters); the
+printed output is the full Fig. 4 content at paper scale: per-method energy
+on the existing accelerator and the PTT / HTT savings on the proposed
+multi-cluster design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.hardware.accelerator import ExistingAcceleratorModel
+from repro.hardware.multicluster import MultiClusterAcceleratorModel
+from repro.hardware.simulator import simulate_methods
+from repro.models.specs import resnet18_layer_specs
+from repro.tt.ranks import PAPER_RANKS_RESNET18
+
+
+def test_fig4a_existing_accelerator(benchmark):
+    """Fig. 4(a): baseline / STT / PTT / HTT energy on the existing accelerator."""
+    specs = resnet18_layer_specs(num_classes=10)
+    reports = benchmark(simulate_methods, specs, ExistingAcceleratorModel(),
+                        PAPER_RANKS_RESNET18, 4, ("baseline", "stt", "ptt", "htt"), 2)
+    base = reports["baseline"].total_nj
+    stt = reports["stt"].total_nj
+    ptt = reports["ptt"].total_nj
+    print("\nFig. 4(a) ResNet-18 energies (nJ/image): "
+          f"baseline={base:.3e}, STT={stt:.3e}, PTT={ptt:.3e}, HTT={reports['htt'].total_nj:.3e}")
+    print(f"  STT saving vs baseline: {100 * (1 - stt / base):.1f}%  (paper: 68.1%)")
+    print(f"  PTT overhead vs STT:    {100 * (ptt / stt - 1):+.1f}%  (paper: +10.9%)")
+    assert stt < base
+    assert ptt > stt
+
+
+def test_fig4b_proposed_accelerator(benchmark):
+    """Fig. 4(b): PTT / HTT savings over STT on the proposed multi-cluster accelerator."""
+    specs = resnet18_layer_specs(num_classes=10)
+    reports = benchmark(simulate_methods, specs, MultiClusterAcceleratorModel(),
+                        PAPER_RANKS_RESNET18, 4, ("stt", "ptt", "htt"), 2)
+    stt = reports["stt"].total_nj
+    ptt_saving = 100 * (1 - reports["ptt"].total_nj / stt)
+    htt_saving = 100 * (1 - reports["htt"].total_nj / stt)
+    print(f"\nFig. 4(b) ResNet-18: PTT saves {ptt_saving:.1f}% (paper 28.3%), "
+          f"HTT saves {htt_saving:.1f}% (paper 43.5%)")
+    assert ptt_saving > 15
+    assert htt_saving > ptt_saving
+
+
+def test_fig4_full_report(benchmark):
+    """Both panels for ResNet-18 and ResNet-34, printed in the paper's structure."""
+    results = benchmark(run_fig4)
+    print("\n" + format_fig4(results))
+    for result in results:
+        assert result.stt_saving_vs_baseline_pct > 50
+        assert result.htt_saving_on_proposed_pct > result.ptt_saving_on_proposed_pct > 0

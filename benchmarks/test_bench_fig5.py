@@ -1,0 +1,51 @@
+"""Benchmark for Fig. 5: training time of STT / PTT / HTT across timesteps.
+
+Fig. 5(b) plots per-batch training time against the simulation timestep; the
+benchmarks below time exactly that for T = 2, 4, 6 and the three TT methods
+on the width-scaled ResNet-18.  Fig. 5(a)'s accuracy series is exercised at a
+reduced scale by the experiment driver test (see tests/test_experiments.py)
+and by examples/reproduce_tables.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.models.builder import convert_to_tt
+from repro.models.resnet import spiking_resnet18
+from repro.snn.encoding import DirectEncoder
+from repro.snn.loss import mean_output_cross_entropy
+
+from conftest import BENCH_SCALE
+
+
+def _make_model(method: str, timesteps: int):
+    rng = np.random.default_rng(0)
+    model = spiking_resnet18(num_classes=BENCH_SCALE["num_classes"], in_channels=3,
+                             timesteps=timesteps, width_scale=BENCH_SCALE["width_scale"], rng=rng)
+    convert_to_tt(model, variant=method, rank=8, timesteps=timesteps)
+    return model
+
+
+def _training_step(model, inputs, labels):
+    model.zero_grad()
+    outputs = model.run_timesteps(inputs)
+    loss = mean_output_cross_entropy(outputs, labels)
+    loss.backward()
+    return float(loss.data)
+
+
+@pytest.mark.parametrize("timesteps", [2, 4, 6])
+@pytest.mark.parametrize("method", ["stt", "ptt", "htt"])
+def test_fig5_training_time_vs_timestep(benchmark, method, timesteps):
+    """Fig. 5(b): per-batch training time for each TT method at T = 2, 4, 6."""
+    model = _make_model(method, timesteps)
+    data = make_static_image_dataset(BENCH_SCALE["batch_size"], BENCH_SCALE["num_classes"],
+                                     height=BENCH_SCALE["image_size"],
+                                     width=BENCH_SCALE["image_size"], seed=0)
+    inputs = DirectEncoder(timesteps)(data.images)
+    _training_step(model, inputs, data.labels)     # warm-up
+    loss = benchmark(_training_step, model, inputs, data.labels)
+    assert np.isfinite(loss)

@@ -1,0 +1,46 @@
+"""Benchmark / check for Table I: the proposed accelerator configuration.
+
+Table I is a configuration table rather than an experiment; this benchmark
+verifies the modelled configuration matches the paper exactly and times the
+workload-construction step (the part of the energy simulator that scales with
+network depth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.config import TABLE_I_CONFIG, existing_accelerator_config
+from repro.hardware.workload import build_layer_workloads
+from repro.models.specs import resnet34_layer_specs
+from repro.tt.ranks import PAPER_RANKS_RESNET34
+
+
+def test_table1_configuration_matches_paper(benchmark):
+    """Every Table I entry is reproduced by the modelled configuration."""
+    cfg = benchmark(lambda: TABLE_I_CONFIG)
+    print("\nTable I - hardware implementation parameters:")
+    print(f"  Technology            : {cfg.technology_nm} nm CMOS")
+    print(f"  Frequency             : {cfg.frequency_mhz} MHz")
+    print(f"  # of clusters         : {cfg.num_clusters}")
+    print(f"  # of PEs / cluster    : {cfg.pes_per_cluster}")
+    print(f"  Scratch pad / PE      : {cfg.scratchpad_bytes_per_pe} bytes")
+    print(f"  Total global buffer   : {cfg.total_global_buffer_kb} KB")
+    print(f"  Accumulator precision : {cfg.accumulator_bits}-bit")
+    print(f"  Multiplier precision  : {cfg.multiplier_bits}-bit")
+    assert cfg.technology_nm == 28
+    assert cfg.frequency_mhz == 400
+    assert cfg.num_clusters == 4
+    assert cfg.pes_per_cluster == 32
+    assert cfg.scratchpad_bytes_per_pe == 32
+    assert cfg.total_global_buffer_kb == 272
+    assert cfg.accumulator_bits == 16
+    assert cfg.multiplier_bits == 8
+    assert existing_accelerator_config().num_clusters == 1
+
+
+def test_workload_construction_speed(benchmark):
+    """Workload extraction for the deepest paper model (ResNet-34, PTT)."""
+    specs = resnet34_layer_specs(num_classes=101)
+    workloads = benchmark(build_layer_workloads, specs, "ptt", PAPER_RANKS_RESNET34)
+    assert len(workloads) == len(specs)

@@ -1,0 +1,86 @@
+"""Benchmark for Table II: training-step time per method + paper-scale params/FLOPs.
+
+Each benchmark times one forward+backward pass (the paper's "training time"
+definition) for the dense baseline and the three TT variants on a
+width-scaled ResNet-18 with direct-coded synthetic CIFAR-10 inputs (T = 4).
+The analytical parameter / FLOP columns for the paper-scale models are
+printed alongside so one run regenerates the full table structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.metrics.flops import model_flops_table
+from repro.models.builder import convert_to_tt
+from repro.models.resnet import spiking_resnet18
+from repro.models.specs import resnet18_layer_specs, resnet34_layer_specs
+from repro.snn.encoding import DirectEncoder
+from repro.snn.loss import mean_output_cross_entropy
+from repro.tt.ranks import PAPER_RANKS_RESNET18, PAPER_RANKS_RESNET34
+
+from conftest import BENCH_SCALE
+
+TIMESTEPS = 4
+
+
+def _make_model(method: str):
+    rng = np.random.default_rng(0)
+    model = spiking_resnet18(num_classes=BENCH_SCALE["num_classes"], in_channels=3,
+                             timesteps=TIMESTEPS, width_scale=BENCH_SCALE["width_scale"], rng=rng)
+    if method != "baseline":
+        convert_to_tt(model, variant=method, rank=8, timesteps=TIMESTEPS)
+    return model
+
+
+def _make_batch():
+    data = make_static_image_dataset(BENCH_SCALE["batch_size"], BENCH_SCALE["num_classes"],
+                                     height=BENCH_SCALE["image_size"],
+                                     width=BENCH_SCALE["image_size"], seed=0)
+    inputs = DirectEncoder(TIMESTEPS)(data.images)
+    return inputs, data.labels
+
+
+def _training_step(model, inputs, labels):
+    model.zero_grad()
+    outputs = model.run_timesteps(inputs)
+    loss = mean_output_cross_entropy(outputs, labels)
+    loss.backward()
+    return float(loss.data)
+
+
+@pytest.mark.parametrize("method", ["baseline", "stt", "ptt", "htt"])
+def test_table2_training_step_time(benchmark, method):
+    """Training time column of Table II (CIFAR-10 block, ResNet-18, T=4)."""
+    model = _make_model(method)
+    inputs, labels = _make_batch()
+    _training_step(model, inputs, labels)          # warm-up
+    result = benchmark(_training_step, model, inputs, labels)
+    assert np.isfinite(result)
+
+
+def test_table2_structural_columns_cifar10(benchmark):
+    """Parameter / FLOP columns of Table II at paper scale (ResNet-18, CIFAR-10)."""
+    table = benchmark(model_flops_table, resnet18_layer_specs(num_classes=10),
+                      PAPER_RANKS_RESNET18, 4, 2)
+    print("\nTable II structural columns (CIFAR-10 / ResNet-18, paper scale):")
+    for method, row in table.items():
+        print(f"  {method:<9} params {row['params_M']:6.2f} M ({row['param_ratio']:.2f}x)   "
+              f"flops {row['flops_G']:6.3f} G ({row['flops_ratio']:.2f}x)")
+    assert table["ptt"]["param_ratio"] == pytest.approx(6.78, rel=0.05)
+    assert table["ptt"]["flops_ratio"] == pytest.approx(5.97, rel=0.05)
+
+
+def test_table2_structural_columns_ncaltech101(benchmark):
+    """Parameter / FLOP columns of Table II at paper scale (ResNet-34, N-Caltech101)."""
+    table = benchmark(model_flops_table, resnet34_layer_specs(num_classes=101),
+                      PAPER_RANKS_RESNET34, 6, 2)
+    print("\nTable II structural columns (N-Caltech101 / ResNet-34, paper scale):")
+    for method, row in table.items():
+        print(f"  {method:<9} params {row['params_M']:6.2f} M ({row['param_ratio']:.2f}x)   "
+              f"flops {row['flops_G']:6.3f} G ({row['flops_ratio']:.2f}x)")
+    assert table["ptt"]["param_ratio"] == pytest.approx(7.98, rel=0.05)
+    assert table["ptt"]["flops_ratio"] == pytest.approx(9.25, rel=0.05)
+    assert table["htt"]["flops_ratio"] == pytest.approx(10.75, rel=0.05)

@@ -1,0 +1,85 @@
+"""Benchmark for Table III: PTT as a plug-in for tdBN / TEBN / TET / NDA recipes.
+
+For each prior SNN training method the benchmark times one training step of
+the base recipe and of the same recipe with PTT modules dropped in, which is
+exactly the quantity Table III reports (base / PTT training time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_event_dataset, make_static_image_dataset
+from repro.models.builder import convert_to_tt
+from repro.models.resnet import spiking_resnet20
+from repro.models.vgg import spiking_vgg9, spiking_vgg11
+from repro.snn.augment import NeuromorphicAugment
+from repro.snn.encoding import DirectEncoder
+from repro.snn.loss import TETLoss, mean_output_cross_entropy
+
+from conftest import BENCH_SCALE
+
+TIMESTEPS = 4
+NUM_CLASSES = 6
+
+
+def _recipes():
+    rng = np.random.default_rng(1)
+    return {
+        "tdBN": dict(
+            factory=lambda: spiking_resnet20(num_classes=NUM_CLASSES, in_channels=3,
+                                             timesteps=TIMESTEPS, norm="tdbn",
+                                             width_scale=0.5, rng=rng),
+            static=True, loss=mean_output_cross_entropy, augment=None),
+        "TEBN": dict(
+            factory=lambda: spiking_vgg9(num_classes=NUM_CLASSES, in_channels=3,
+                                         timesteps=TIMESTEPS, norm="tebn",
+                                         width_scale=BENCH_SCALE["width_scale"], rng=rng),
+            static=True, loss=mean_output_cross_entropy, augment=None),
+        "TET": dict(
+            factory=lambda: spiking_vgg9(num_classes=NUM_CLASSES, in_channels=2,
+                                         timesteps=TIMESTEPS, norm="bn",
+                                         width_scale=BENCH_SCALE["width_scale"], rng=rng),
+            static=False, loss=TETLoss(lamb=0.05), augment=None),
+        "NDA": dict(
+            factory=lambda: spiking_vgg11(num_classes=NUM_CLASSES, in_channels=2,
+                                          timesteps=TIMESTEPS, norm="bn",
+                                          width_scale=BENCH_SCALE["width_scale"], rng=rng),
+            static=False, loss=mean_output_cross_entropy, augment=NeuromorphicAugment(seed=0)),
+    }
+
+
+def _batch(static: bool):
+    size = 32 if not static else BENCH_SCALE["image_size"]
+    if static:
+        data = make_static_image_dataset(BENCH_SCALE["batch_size"], NUM_CLASSES,
+                                         height=size, width=size, seed=0)
+        return DirectEncoder(TIMESTEPS)(data.images), data.labels
+    data = make_event_dataset(BENCH_SCALE["batch_size"], NUM_CLASSES, timesteps=TIMESTEPS,
+                              channels=2, height=size, width=size, seed=0)
+    return np.transpose(data.frames, (1, 0, 2, 3, 4)), data.labels
+
+
+def _training_step(model, inputs, labels, loss_fn, augment):
+    if augment is not None:
+        inputs = augment(inputs)
+    model.zero_grad()
+    outputs = model.run_timesteps(inputs)
+    loss = loss_fn(outputs, labels)
+    loss.backward()
+    return float(loss.data)
+
+
+@pytest.mark.parametrize("recipe", ["tdBN", "TEBN", "TET", "NDA"])
+@pytest.mark.parametrize("variant", ["base", "ptt"])
+def test_table3_training_step_time(benchmark, recipe, variant):
+    """Base vs PTT training-step time for each prior SNN method (Table III)."""
+    setting = _recipes()[recipe]
+    model = setting["factory"]()
+    if variant == "ptt":
+        convert_to_tt(model, variant="ptt", rank=8, timesteps=TIMESTEPS)
+    inputs, labels = _batch(setting["static"])
+    _training_step(model, inputs, labels, setting["loss"], setting["augment"])   # warm-up
+    loss = benchmark(_training_step, model, inputs, labels, setting["loss"], setting["augment"])
+    assert np.isfinite(loss)

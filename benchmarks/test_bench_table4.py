@@ -1,0 +1,69 @@
+"""Benchmark for Table IV: HTT full/half placement ablation.
+
+Table IV is an accuracy ablation; its computational counterpart benchmarked
+here is the per-batch training cost of each placement (they differ slightly
+because the half path skips two sub-convolutions on different timesteps) plus
+a short accuracy run on the synthetic dataset printed for reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.experiments.table4 import format_table4, run_table4
+from repro.models.builder import convert_to_tt
+from repro.models.resnet import spiking_resnet18
+from repro.snn.encoding import DirectEncoder
+from repro.snn.loss import mean_output_cross_entropy
+
+from conftest import BENCH_SCALE
+
+TIMESTEPS = 4
+SCHEDULES = ["FFHH", "HHFF", "HFHF", "FHFH"]
+
+
+def _make_model(schedule: str):
+    rng = np.random.default_rng(0)
+    model = spiking_resnet18(num_classes=BENCH_SCALE["num_classes"], in_channels=3,
+                             timesteps=TIMESTEPS, width_scale=BENCH_SCALE["width_scale"], rng=rng)
+    convert_to_tt(model, variant="htt", rank=8, timesteps=TIMESTEPS, schedule=schedule)
+    return model
+
+
+def _training_step(model, inputs, labels):
+    model.zero_grad()
+    outputs = model.run_timesteps(inputs)
+    loss = mean_output_cross_entropy(outputs, labels)
+    loss.backward()
+    return float(loss.data)
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_table4_schedule_training_step(benchmark, schedule):
+    """Per-batch training cost of each HTT placement (Table IV rows)."""
+    model = _make_model(schedule)
+    data = make_static_image_dataset(BENCH_SCALE["batch_size"], BENCH_SCALE["num_classes"],
+                                     height=BENCH_SCALE["image_size"],
+                                     width=BENCH_SCALE["image_size"], seed=0)
+    inputs = DirectEncoder(TIMESTEPS)(data.images)
+    _training_step(model, inputs, data.labels)    # warm-up
+    loss = benchmark(_training_step, model, inputs, data.labels)
+    assert np.isfinite(loss)
+
+
+def test_table4_accuracy_ablation(benchmark):
+    """Short training run per placement; prints the Table IV layout.
+
+    Run once (pedantic mode) because each invocation trains four models.
+    """
+    rows = benchmark.pedantic(
+        run_table4,
+        kwargs=dict(schedules=SCHEDULES, width_scale=0.1, num_samples=48, image_size=12,
+                    timesteps=TIMESTEPS, num_classes=6, epochs=2, batch_size=12, tt_rank=6),
+        rounds=1, iterations=1)
+    print("\nTable IV (synthetic data, laptop scale):")
+    print(format_table4(rows))
+    assert len(rows) == 4
+    assert all(0.0 <= r.accuracy <= 1.0 for r in rows)

@@ -1,0 +1,63 @@
+"""Hardware scenario: training-energy analysis on both accelerators (Fig. 4).
+
+Runs the analytical energy model at full paper scale (ResNet-18 with the
+paper's VBMF ranks, T = 4, and ResNet-34 with T = 6) on
+
+* the existing SATA-style single-engine training accelerator, and
+* the proposed 4-cluster accelerator of Section IV (Table I configuration),
+
+and prints the per-method energy breakdown plus the relative results the
+paper reports: STT's ~68% saving over the dense baseline, PTT's ~11% penalty
+on the existing accelerator, and the ~28% / ~44% savings of PTT / HTT over
+STT on the proposed design.
+
+Run:  python examples/accelerator_energy_analysis.py   (a few seconds)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.hardware.accelerator import ExistingAcceleratorModel
+from repro.hardware.config import TABLE_I_CONFIG
+from repro.hardware.multicluster import MultiClusterAcceleratorModel
+from repro.hardware.simulator import simulate_training_energy
+from repro.models.specs import resnet18_layer_specs
+from repro.tt.ranks import PAPER_RANKS_RESNET18
+
+
+def print_breakdown(title: str, accelerator, method: str) -> None:
+    """Energy component breakdown of one method on one accelerator."""
+    specs = resnet18_layer_specs(num_classes=10)
+    report = simulate_training_energy(specs, method, accelerator,
+                                      ranks=PAPER_RANKS_RESNET18, timesteps=4)
+    b = report.breakdown
+    total = b.total_pj
+    print(f"\n{title} — {method.upper()} (ResNet-18, T=4, one training image)")
+    print(f"  compute : {b.compute_pj / 1e6:10.1f} uJ ({100 * b.compute_pj / total:4.1f}%)")
+    print(f"  SRAM    : {b.sram_pj / 1e6:10.1f} uJ ({100 * b.sram_pj / total:4.1f}%)")
+    print(f"  DRAM    : {b.dram_pj / 1e6:10.1f} uJ ({100 * b.dram_pj / total:4.1f}%)")
+    print(f"  leakage : {b.static_pj / 1e6:10.1f} uJ ({100 * b.static_pj / total:4.1f}%)")
+    print(f"  total   : {total / 1e6:10.1f} uJ   ({b.cycles:,.0f} cycles)")
+
+
+def main() -> None:
+    print("Proposed accelerator configuration (Table I):")
+    print(f"  {TABLE_I_CONFIG.num_clusters} clusters x {TABLE_I_CONFIG.pes_per_cluster} PEs, "
+          f"{TABLE_I_CONFIG.total_global_buffer_kb} KB global buffers, "
+          f"{TABLE_I_CONFIG.technology_nm} nm @ {TABLE_I_CONFIG.frequency_mhz} MHz")
+
+    existing = ExistingAcceleratorModel()
+    proposed = MultiClusterAcceleratorModel()
+    print_breakdown("Existing single-engine accelerator", existing, "baseline")
+    print_breakdown("Existing single-engine accelerator", existing, "ptt")
+    print_breakdown("Proposed multi-cluster accelerator", proposed, "ptt")
+
+    print("\n" + "=" * 72)
+    print(format_fig4(run_fig4()))
+    print("=" * 72)
+    print("Paper reference points: STT -68.1% vs baseline (existing), PTT +10.9% vs STT")
+    print("(existing), PTT -28.3% and HTT -43.5% vs STT (proposed).")
+
+
+if __name__ == "__main__":
+    main()

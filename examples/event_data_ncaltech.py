@@ -1,0 +1,68 @@
+"""Event-data scenario: STT vs PTT vs HTT on a synthetic N-Caltech101 stand-in.
+
+The paper's key observation on dynamic (event-camera) data is that every
+timestep carries *different* information, so the HTT module — which skips the
+vertical/horizontal sub-convolutions on late timesteps — loses accuracy
+relative to PTT, while on static data it does not (Table II).  This example
+trains all three TT variants on a moving-pattern event dataset (the
+N-Caltech101 substitute) with a spiking ResNet-34 backbone and prints the
+comparison.
+
+Run:  python examples/event_data_ncaltech.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import make_event_dataset
+from repro.metrics.params import count_parameters
+from repro.models.resnet import spiking_resnet34
+from repro.training.config import TrainingConfig
+from repro.training.pipeline import TTSNNPipeline
+
+
+def main() -> None:
+    timesteps = 6            # the paper uses T = 6 for N-Caltech101
+    num_classes = 6          # scaled down from 101 for laptop runtime
+    width_scale = 0.1
+
+    dataset = make_event_dataset(num_samples=72, num_classes=num_classes, timesteps=timesteps,
+                                 channels=2, height=16, width=16, seed=0)
+
+    def model_factory():
+        return spiking_resnet34(num_classes=num_classes, in_channels=2, timesteps=timesteps,
+                                width_scale=width_scale, rng=np.random.default_rng(0))
+
+    results = {}
+    for method in ("stt", "ptt", "htt"):
+        config = TrainingConfig(
+            timesteps=timesteps,
+            epochs=2,
+            batch_size=12,
+            learning_rate=0.05,
+            tt_variant=method,
+            tt_rank=8,
+            # HTT: full sub-convolutions early, half sub-convolutions on the
+            # last two timesteps (the paper's N-Caltech101 setting: t = 5, 6).
+            htt_schedule="FFFFHH" if method == "htt" else None,
+            seed=0,
+        )
+        pipeline = TTSNNPipeline(model_factory, config)
+        result = pipeline.run(dataset, epochs=config.epochs, merge_after_training=False)
+        results[method] = result
+        print(f"{method.upper():<4} accuracy {100 * result.accuracy:5.1f}%   "
+              f"params {result.parameters / 1e6:.3f} M   "
+              f"({result.tt_layers} decomposed layers)")
+
+    dense_params = count_parameters(model_factory())
+    print("\n=== Event-data (dynamic) comparison ===")
+    print(f"dense ResNet-34 parameters : {dense_params / 1e6:.3f} M")
+    print(f"TT parameters              : {results['ptt'].parameters / 1e6:.3f} M "
+          f"({dense_params / results['ptt'].parameters:.2f}x)")
+    print("Expected ordering on dynamic data (paper, Table II): PTT >= STT > HTT,")
+    print("because the half path discards information that is unique to late timesteps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: train a PTT-decomposed spiking ResNet-18 end to end.
+
+This walks through the whole Algorithm-1 pipeline of the TT-SNN paper on a
+small synthetic CIFAR-10 stand-in:
+
+1. build a dense spiking ResNet-18 baseline,
+2. replace every decomposable 3x3 convolution with a Parallel-TT (PTT) module
+   whose cores are initialised by TT-decomposing the dense weights,
+3. train with backpropagation-through-time and surrogate gradients,
+4. merge the trained TT cores back into dense kernels for spike-driven
+   inference,
+5. report the parameter compression and accuracy.
+
+Run:  python examples/quickstart.py
+Takes roughly a minute on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.metrics.params import count_parameters
+from repro.models.resnet import spiking_resnet18
+from repro.training.config import TrainingConfig
+from repro.training.pipeline import TTSNNPipeline
+from repro.training.trainer import evaluate_accuracy
+
+
+def main() -> None:
+    # Laptop-scale knobs: a narrower ResNet-18 and a small synthetic dataset.
+    width_scale = 0.125
+    num_classes = 8
+    timesteps = 4
+
+    dataset = make_static_image_dataset(num_samples=128, num_classes=num_classes,
+                                        height=16, width=16, seed=0)
+
+    def model_factory():
+        return spiking_resnet18(num_classes=num_classes, in_channels=3, timesteps=timesteps,
+                                width_scale=width_scale, rng=np.random.default_rng(0))
+
+    # Dense baseline for the parameter comparison.
+    baseline = model_factory()
+    baseline_params = count_parameters(baseline)
+
+    config = TrainingConfig(
+        timesteps=timesteps,
+        epochs=3,
+        batch_size=16,
+        learning_rate=0.05,
+        tt_variant="ptt",       # the paper's proposed Parallel-TT module
+        tt_rank=8,              # use "vbmf" to select ranks automatically
+        seed=0,
+    )
+    pipeline = TTSNNPipeline(model_factory, config)
+    result = pipeline.run(dataset, epochs=config.epochs, merge_after_training=True, verbose=True)
+
+    print("\n=== TT-SNN quickstart summary ===")
+    print(f"method                : {result.method}")
+    print(f"decomposed layers     : {result.tt_layers}")
+    print(f"merged for inference  : {result.merged_layers}")
+    print(f"baseline parameters   : {baseline_params / 1e6:.3f} M")
+    print(f"TT model parameters   : {result.parameters / 1e6:.3f} M "
+          f"({baseline_params / result.parameters:.2f}x smaller)")
+    print(f"final train accuracy  : {100 * result.accuracy:.1f} %")
+
+    merged_accuracy = evaluate_accuracy(pipeline.model, dataset, batch_size=16,
+                                        timesteps=timesteps)
+    print(f"accuracy after merge  : {100 * merged_accuracy:.1f} % "
+          "(spike-driven dense convolutions, Eq. 6)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Regenerate every paper table / figure series from one script.
+
+Runs the experiment drivers behind Tables II-IV and Figures 4-5 at a
+configurable scale and prints each in the paper's layout.  The structural
+columns (parameters, FLOPs, energy) always use the full paper-scale models
+with the paper's VBMF ranks; the measured columns (accuracy, wall-clock
+training time) use the synthetic datasets and width-scaled models.
+
+Run:  python examples/reproduce_tables.py            # quick (~ a few minutes)
+      python examples/reproduce_tables.py --full     # larger measured runs
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    format_fig4,
+    format_fig5,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_fig4,
+    run_fig5,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="larger measured runs (more samples, epochs and width)")
+    args = parser.parse_args()
+
+    if args.full:
+        scale = dict(width_scale=0.25, num_samples=128, image_size=16, epochs=4, batch_size=16)
+    else:
+        scale = dict(width_scale=0.1, num_samples=48, image_size=12, epochs=2, batch_size=12)
+
+    print("=" * 72)
+    print("Table II — CIFAR-10 block (measured at reduced scale, structural at paper scale)")
+    print("=" * 72)
+    print(format_table2(run_table2("cifar10", num_classes=8, tt_rank=8, **scale)))
+
+    print("\n" + "=" * 72)
+    print("Table II — N-Caltech101 block")
+    print("=" * 72)
+    print(format_table2(run_table2("ncaltech101", num_classes=8, tt_rank=8, **scale)))
+
+    print("\n" + "=" * 72)
+    print("Table III — PTT plug-in compatibility")
+    print("=" * 72)
+    print(format_table3(run_table3(width_scale=scale["width_scale"],
+                                   num_samples=scale["num_samples"],
+                                   image_size=scale["image_size"], timesteps=4, num_classes=6,
+                                   epochs=scale["epochs"], batch_size=scale["batch_size"],
+                                   tt_rank=6)))
+
+    print("\n" + "=" * 72)
+    print("Table IV — HTT full/half placement ablation")
+    print("=" * 72)
+    print(format_table4(run_table4(width_scale=scale["width_scale"],
+                                   num_samples=scale["num_samples"],
+                                   image_size=scale["image_size"], timesteps=4, num_classes=6,
+                                   epochs=scale["epochs"], batch_size=scale["batch_size"],
+                                   tt_rank=6)))
+
+    print("\n" + "=" * 72)
+    print("Fig. 4 — training energy (paper scale, analytical)")
+    print("=" * 72)
+    print(format_fig4(run_fig4()))
+
+    print("\n" + "=" * 72)
+    print("Fig. 5 — accuracy / training time vs timestep")
+    print("=" * 72)
+    print(format_fig5(run_fig5(timestep_values=(2, 4, 6), width_scale=scale["width_scale"],
+                               num_samples=scale["num_samples"], image_size=scale["image_size"],
+                               num_classes=6, epochs=scale["epochs"],
+                               batch_size=scale["batch_size"], tt_rank=6)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,189 @@
+"""im2col-based 2-D convolution with full forward/backward support.
+
+The TT-SNN paper decomposes a dense ``(O, I, 3, 3)`` convolution into four
+sub-convolutions with kernel shapes ``(r, I, 1, 1)``, ``(r, r, 3, 1)``,
+``(r, r, 1, 3)`` and ``(O, r, 1, 1)``; this module therefore supports
+*asymmetric* kernels and asymmetric padding, which the TT layers rely on.
+
+The implementation uses the standard im2col / col2im lowering so that both
+the forward pass and the weight/input gradients reduce to a single matrix
+multiplication each, which keeps NumPy training throughput usable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor, as_tensor
+
+__all__ = [
+    "conv2d",
+    "conv2d_output_shape",
+    "im2col",
+    "col2im",
+    "Conv2dFunction",
+]
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    """Normalise an int-or-pair argument to a 2-tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv2d_output_shape(
+    input_hw: Tuple[int, int],
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> Tuple[int, int]:
+    """Spatial output shape of a 2-D convolution (floor division semantics)."""
+    h, w = input_hw
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution produces empty output: input {input_hw}, kernel {kernel_hw}, "
+            f"stride {(sh, sw)}, padding {(ph, pw)}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Lower ``x (N, C, H, W)`` into column form ``(N, C*kh*kw, out_h*out_w)``."""
+    n, c, h, w = x.shape
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    # Strided view: (N, C, kh, kw, out_h, out_w)
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    n, c, h, w = input_shape
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols_reshaped = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols_reshaped[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph:ph + h, pw:pw + w]
+    return padded
+
+
+class Conv2dFunction(Function):
+    """Differentiable 2-D convolution (cross-correlation, PyTorch convention).
+
+    Inputs (as NumPy arrays via :meth:`Function.apply`):
+
+    * ``x`` of shape ``(N, C_in, H, W)``
+    * ``weight`` of shape ``(C_out, C_in, kH, kW)``
+    * ``bias`` of shape ``(C_out,)`` or omitted (pass ``None`` beforehand).
+    """
+
+    def __init__(self, stride: IntOrPair = 1, padding: IntOrPair = 0):
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._cols: Optional[np.ndarray] = None
+        self._weight: Optional[np.ndarray] = None
+        self._has_bias = False
+
+    def forward(self, *arrays: np.ndarray) -> np.ndarray:
+        if len(arrays) == 3:
+            x, weight, bias = arrays
+            self._has_bias = True
+        else:
+            x, weight = arrays
+            bias = None
+        out_c, in_c, kh, kw = weight.shape
+        n, c, h, w = x.shape
+        if c != in_c:
+            raise ValueError(f"input channels {c} do not match weight channels {in_c}")
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+
+        cols = im2col(x, (kh, kw), self.stride, self.padding)  # (N, C*kh*kw, L)
+        w_mat = weight.reshape(out_c, -1)  # (O, C*kh*kw)
+        out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
+        out = out.reshape(n, out_c, out_h, out_w)
+        if bias is not None:
+            out = out + bias.reshape(1, out_c, 1, 1)
+
+        self._x_shape = x.shape
+        self._cols = cols
+        self._weight = weight
+        return out.astype(x.dtype)
+
+    def backward(self, grad_output: np.ndarray):
+        weight = self._weight
+        out_c, in_c, kh, kw = weight.shape
+        n = grad_output.shape[0]
+        grad_mat = grad_output.reshape(n, out_c, -1)  # (N, O, L)
+
+        # dL/dW = sum_n grad (N,O,L) x cols (N, C*kh*kw, L)^T
+        grad_weight = np.einsum("nol,nkl->ok", grad_mat, self._cols, optimize=True)
+        grad_weight = grad_weight.reshape(weight.shape)
+
+        # dL/dx via col2im of W^T @ grad
+        w_mat = weight.reshape(out_c, -1)
+        grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat, optimize=True)
+        grad_x = col2im(grad_cols, self._x_shape, (kh, kw), self.stride, self.padding)
+
+        if self._has_bias:
+            grad_bias = grad_output.sum(axis=(0, 2, 3))
+            return grad_x, grad_weight, grad_bias
+        return grad_x, grad_weight
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> Tensor:
+    """Functional 2-D convolution over :class:`~repro.autograd.Tensor` inputs."""
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if bias is not None:
+        return Conv2dFunction.apply(x, weight, as_tensor(bias), stride=stride, padding=padding)
+    return Conv2dFunction.apply(x, weight, stride=stride, padding=padding)

@@ -1,0 +1,218 @@
+"""Functional neural-network primitives on top of the autograd engine.
+
+These are the NumPy analogues of ``torch.nn.functional`` calls the TT-SNN
+training pipeline needs: activations, softmax / cross entropy (used by the
+plain loss and by the TET loss), pooling, dropout, and linear/batch-norm
+helpers shared by the layer classes in :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor, as_tensor
+from repro.autograd.conv import _pair, conv2d_output_shape, im2col
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "linear",
+    "dropout",
+    "avg_pool2d",
+    "max_pool2d",
+    "adaptive_avg_pool2d",
+    "pad2d",
+    "one_hot",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Negative log-likelihood of integer ``labels`` under ``log_probs``."""
+    log_probs = as_tensor(log_probs)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    n, c = log_probs.shape
+    mask = Tensor(one_hot(labels, c))
+    picked = (log_probs * mask).sum(axis=1)
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits (N, C)`` and integer labels."""
+    return nll_loss(log_softmax(logits, axis=1), labels)
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch layout: weight is (out, in))."""
+    out = as_tensor(x) @ as_tensor(weight).transpose()
+    if bias is not None:
+        out = out + as_tensor(bias)
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    rng = rng or np.random.default_rng()
+    x = as_tensor(x)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def pad2d(x: Tensor, padding: Tuple[int, int]) -> Tensor:
+    """Zero-pad the two trailing (spatial) dimensions by ``(ph, pw)`` on each side."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    def backward(grad: np.ndarray) -> None:
+        h, w = x.shape[-2], x.shape[-1]
+        x._accumulate_grad(np.asarray(grad)[..., ph:ph + h, pw:pw + w])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class _AvgPool2dFunction(Function):
+    """Average pooling with im2col lowering."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        self.kernel = _pair(kernel_size)
+        self.stride = _pair(stride if stride is not None else kernel_size)
+        self.padding = _pair(padding)
+        self._x_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        kh, kw = self.kernel
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+        self._x_shape = x.shape
+        return cols.mean(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype)
+
+    def backward(self, grad_output: np.ndarray):
+        from repro.autograd.conv import col2im
+
+        n, c, h, w = self._x_shape
+        kh, kw = self.kernel
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+        grad = grad_output.reshape(n, c, 1, out_h * out_w) / (kh * kw)
+        grad_cols = np.broadcast_to(grad, (n, c, kh * kw, out_h * out_w))
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = col2im(np.ascontiguousarray(grad_cols), self._x_shape, (kh, kw), self.stride, self.padding)
+        return (grad_x,)
+
+
+class _MaxPool2dFunction(Function):
+    """Max pooling with im2col lowering (argmax stored for backward)."""
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        self.kernel = _pair(kernel_size)
+        self.stride = _pair(stride if stride is not None else kernel_size)
+        self.padding = _pair(padding)
+        self._x_shape = None
+        self._argmax = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        kh, kw = self.kernel
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+        self._x_shape = x.shape
+        self._argmax = cols.argmax(axis=2)
+        return cols.max(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype)
+
+    def backward(self, grad_output: np.ndarray):
+        from repro.autograd.conv import col2im
+
+        n, c, h, w = self._x_shape
+        kh, kw = self.kernel
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad_output.dtype)
+        flat_grad = grad_output.reshape(n, c, out_h * out_w)
+        n_idx, c_idx, l_idx = np.meshgrid(
+            np.arange(n), np.arange(c), np.arange(out_h * out_w), indexing="ij"
+        )
+        grad_cols[n_idx, c_idx, self._argmax, l_idx] = flat_grad
+        grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+        grad_x = col2im(np.ascontiguousarray(grad_cols), self._x_shape, (kh, kw), self.stride, self.padding)
+        return (grad_x,)
+
+
+def avg_pool2d(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:
+    """2-D average pooling."""
+    return _AvgPool2dFunction.apply(as_tensor(x), kernel_size=kernel_size, stride=stride, padding=padding)
+
+
+def max_pool2d(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:
+    """2-D max pooling."""
+    return _MaxPool2dFunction.apply(as_tensor(x), kernel_size=kernel_size, stride=stride, padding=padding)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: Union[int, Tuple[int, int]] = 1) -> Tensor:
+    """Adaptive average pooling to ``output_size`` (only exact divisors supported)."""
+    oh, ow = _pair(output_size)
+    x = as_tensor(x)
+    _, _, h, w = x.shape
+    if h % oh or w % ow:
+        raise ValueError(f"adaptive_avg_pool2d requires divisible sizes, got {(h, w)} -> {(oh, ow)}")
+    return avg_pool2d(x, kernel_size=(h // oh, w // ow), stride=(h // oh, w // ow))

@@ -1,0 +1,612 @@
+"""Core ``Tensor`` type with reverse-mode automatic differentiation.
+
+The design mirrors the small tape-based engines used by PyTorch internally:
+every differentiable operation returns a new :class:`Tensor` holding
+
+* ``data`` -- the forward value (a ``numpy.ndarray`` of ``float32``/``float64``),
+* ``_prev`` -- the parent tensors that produced it,
+* ``_backward`` -- a closure that, given the already-accumulated gradient of
+  the output, accumulates gradients into the parents.
+
+Calling :meth:`Tensor.backward` performs a topological sort of the graph and
+runs the closures in reverse order.
+
+Broadcasting is fully supported: gradients flowing into a broadcast operand
+are reduced (summed) over the broadcast axes so that ``grad.shape`` always
+matches ``data.shape``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
+
+# ---------------------------------------------------------------------------
+# global grad-enabled switch
+# ---------------------------------------------------------------------------
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return ``True`` when operations should build the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside the block every operation behaves like a plain NumPy computation:
+    results have ``requires_grad=False`` and no backward closures are stored.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    NumPy broadcasting may have expanded an operand along leading axes or along
+    axes of size one; the gradient of a broadcast is the sum over the expanded
+    axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over the extra leading dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were of size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value: ArrayLike, dtype=np.float32) -> "Tensor":
+    """Coerce ``value`` into a :class:`Tensor` (no copy when already a Tensor)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+def _asarray(value: ArrayLike, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+# ---------------------------------------------------------------------------
+# Tensor
+# ---------------------------------------------------------------------------
+
+
+class Tensor:
+    """N-dimensional array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like forward value.  Stored as ``float32`` unless the input
+        already is a floating ndarray of another precision.
+    requires_grad:
+        When ``True`` (and grad mode is enabled) the tensor is a graph leaf
+        whose ``.grad`` is populated by :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype not in (np.float32, np.float64):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying ndarray (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.data.dtype}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # -- graph machinery ----------------------------------------------------
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Optional[Callable[[np.ndarray], None]],
+    ) -> "Tensor":
+        """Create a non-leaf tensor from an op result, wiring the graph."""
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = tuple(p for p in parents if p.requires_grad or p._prev)
+            out._backward = backward
+        return out
+
+    def _accumulate_grad(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy() if grad.base is not None else grad
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some scalar objective with respect to this tensor.
+            Defaults to ``1`` which is only valid for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # Topological order of the graph reachable from self.
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate_grad(grad)
+        for node in reversed(topo):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other, dtype=self.data.dtype)
+        out_data = self.data + other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad or self._prev:
+                self._accumulate_grad(grad)
+            if other_t.requires_grad or other_t._prev:
+                other_t._accumulate_grad(grad)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(-grad)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other, dtype=self.data.dtype))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other, dtype=self.data.dtype) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other, dtype=self.data.dtype)
+        out_data = self.data * other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad or self._prev:
+                self._accumulate_grad(grad * other_t.data)
+            if other_t.requires_grad or other_t._prev:
+                other_t._accumulate_grad(grad * self.data)
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other, dtype=self.data.dtype)
+        out_data = self.data / other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad or self._prev:
+                self._accumulate_grad(grad / other_t.data)
+            if other_t.requires_grad or other_t._prev:
+                other_t._accumulate_grad(-grad * self.data / (other_t.data ** 2))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other, dtype=self.data.dtype) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other, dtype=self.data.dtype)
+        out_data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            a, b = self.data, other_t.data
+            if self.requires_grad or self._prev:
+                if b.ndim == 1:
+                    grad_a = np.outer(grad, b) if a.ndim > 1 else grad * b
+                else:
+                    grad_a = grad @ np.swapaxes(b, -1, -2)
+                self._accumulate_grad(_unbroadcast(np.asarray(grad_a), a.shape))
+            if other_t.requires_grad or other_t._prev:
+                if a.ndim == 1:
+                    grad_b = np.outer(a, grad) if b.ndim > 1 else a * grad
+                else:
+                    grad_b = np.swapaxes(a, -1, -2) @ grad
+                other_t._accumulate_grad(_unbroadcast(np.asarray(grad_b), b.shape))
+
+        return Tensor._make(out_data, (self, other_t), backward)
+
+    # -- comparisons (non differentiable, return plain Tensors) -------------
+
+    def __gt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor((self.data > _asarray(other, self.data.dtype)).astype(self.data.dtype))
+
+    def __ge__(self, other: ArrayLike) -> "Tensor":
+        return Tensor((self.data >= _asarray(other, self.data.dtype)).astype(self.data.dtype))
+
+    def __lt__(self, other: ArrayLike) -> "Tensor":
+        return Tensor((self.data < _asarray(other, self.data.dtype)).astype(self.data.dtype))
+
+    def __le__(self, other: ArrayLike) -> "Tensor":
+        return Tensor((self.data <= _asarray(other, self.data.dtype)).astype(self.data.dtype))
+
+    # -- reductions ----------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = [1 if i in axes else s for i, s in enumerate(self.data.shape)]
+                g = g.reshape(shape)
+            self._accumulate_grad(np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a % self.data.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            expanded = self.data.max(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = [1 if i in axes else s for i, s in enumerate(self.data.shape)]
+                g = g.reshape(shape)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Distribute gradient equally among ties.
+            denom = mask.sum(axis=axis, keepdims=True)
+            self._accumulate_grad(mask * g / denom)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- shape manipulation ---------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(np.asarray(grad).reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def view(self, *shape) -> "Tensor":
+        return self.reshape(*shape)
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.data.shape
+        new_shape = shape[:start_dim] + (-1,)
+        return self.reshape(new_shape)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(np.asarray(grad).transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def permute(self, *axes) -> "Tensor":
+        return self.transpose(*axes)
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        original = self.data.shape
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(np.asarray(grad).reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        original = self.data.shape
+        out_data = np.expand_dims(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(np.asarray(grad).reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, np.asarray(grad))
+            self._accumulate_grad(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- elementwise math -----------------------------------------------------
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(self.data.dtype)
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * sign)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        out_data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.data.dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate_grad(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # -- static constructors ---------------------------------------------------
+
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False, dtype=np.float32) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False, dtype=np.float32) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+    @staticmethod
+    def zeros_like(other: "Tensor", requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros_like(other.data), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.split(np.asarray(grad), len(tensors), axis=axis)
+            for t, piece in zip(tensors, pieces):
+                if t.requires_grad or t._prev:
+                    t._accumulate_grad(np.squeeze(piece, axis=axis))
+
+        return Tensor._make(out_data, tensors, backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.asarray(grad)
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad or t._prev:
+                    index = [slice(None)] * g.ndim
+                    index[axis] = slice(start, stop)
+                    t._accumulate_grad(g[tuple(index)])
+
+        return Tensor._make(out_data, tensors, backward)
+
+
+# ---------------------------------------------------------------------------
+# Function: custom differentiable ops
+# ---------------------------------------------------------------------------
+
+
+class Function:
+    """Base class for custom differentiable operations.
+
+    Subclasses implement :meth:`forward` (NumPy in, NumPy out) and
+    :meth:`backward` (gradient of the output in, tuple of gradients of the
+    inputs out).  ``ctx`` (``self``) may store anything needed for backward
+    via attribute assignment.
+
+    Example
+    -------
+    The surrogate-gradient Heaviside used by the LIF neuron is implemented as
+    a ``Function``: forward returns ``(u >= v_th)`` while backward returns a
+    smooth surrogate derivative.
+    """
+
+    def forward(self, *arrays: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:  # pragma: no cover
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *inputs: ArrayLike, **kwargs) -> Tensor:
+        """Run the op on ``inputs`` and wire it into the autograd graph."""
+        ctx = cls(**kwargs) if kwargs else cls()
+        tensors = [as_tensor(x) for x in inputs]
+        out_data = ctx.forward(*[t.data for t in tensors])
+
+        def backward(grad: np.ndarray) -> None:
+            grads = ctx.backward(np.asarray(grad))
+            if not isinstance(grads, tuple):
+                grads = (grads,)
+            for t, g in zip(tensors, grads):
+                if g is None:
+                    continue
+                if t.requires_grad or t._prev:
+                    t._accumulate_grad(g)
+
+        return Tensor._make(out_data, tensors, backward)

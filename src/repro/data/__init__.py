@@ -1,0 +1,37 @@
+"""Datasets and data loading.
+
+The reproduction environment has no network access and no GPU, so the paper's
+datasets (CIFAR-10/100, N-Caltech101, DVS128 Gesture) are replaced by
+procedurally generated synthetic equivalents that exercise the identical code
+paths — static images fed through direct coding, and event-frame sequences
+whose per-timestep content is genuinely different (the property the paper's
+HTT analysis hinges on).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.data.datasets import ArrayDataset, DataLoader, Dataset, EventDataset
+from repro.data.synthetic import (
+    SyntheticCIFAR10,
+    SyntheticCIFAR100,
+    SyntheticDVSGesture,
+    SyntheticNCaltech101,
+    make_static_image_dataset,
+    make_event_dataset,
+)
+from repro.data.transforms import Compose, Normalize, RandomCrop, RandomHorizontalFlip
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "EventDataset",
+    "DataLoader",
+    "SyntheticCIFAR10",
+    "SyntheticCIFAR100",
+    "SyntheticNCaltech101",
+    "SyntheticDVSGesture",
+    "make_static_image_dataset",
+    "make_event_dataset",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+]

@@ -1,0 +1,126 @@
+"""Dataset and data-loader abstractions (NumPy equivalents of torch.utils.data)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset", "EventDataset", "DataLoader"]
+
+
+class Dataset:
+    """Minimal dataset protocol: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Static-image dataset backed by in-memory arrays.
+
+    ``images`` has shape ``(N, C, H, W)`` and ``labels`` shape ``(N,)``.  An
+    optional per-sample ``transform`` is applied on access (augmentation).
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 transform: Optional[Callable[[np.ndarray], np.ndarray]] = None):
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+        if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+            raise ValueError("labels must be a 1-D array matching the number of images")
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        image = self.images[index]
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+
+class EventDataset(Dataset):
+    """Event-frame dataset: every sample is a ``(T, C, H, W)`` frame sequence."""
+
+    def __init__(self, frames: np.ndarray, labels: np.ndarray,
+                 transform: Optional[Callable[[np.ndarray], np.ndarray]] = None):
+        frames = np.asarray(frames, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if frames.ndim != 5:
+            raise ValueError(f"frames must be (N, T, C, H, W), got {frames.shape}")
+        if labels.ndim != 1 or labels.shape[0] != frames.shape[0]:
+            raise ValueError("labels must be a 1-D array matching the number of samples")
+        self.frames = frames
+        self.labels = labels
+        self.transform = transform
+
+    def __len__(self) -> int:
+        return self.frames.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        sample = self.frames[index]
+        if self.transform is not None:
+            sample = self.transform(sample)
+        return sample, int(self.labels[index])
+
+    @property
+    def timesteps(self) -> int:
+        return self.frames.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0
+
+
+class DataLoader:
+    """Batch iterator over a dataset with optional shuffling.
+
+    For :class:`ArrayDataset` the yielded batch is ``(images (N, C, H, W),
+    labels (N,))``; for :class:`EventDataset` the frames are transposed to
+    the model-facing layout ``(T, N, C, H, W)``.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
+                 drop_last: bool = False, seed: Optional[int] = None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            samples = [self.dataset[int(i)] for i in batch_idx]
+            data = np.stack([s[0] for s in samples], axis=0)
+            labels = np.array([s[1] for s in samples], dtype=np.int64)
+            if data.ndim == 5:
+                # (N, T, C, H, W) -> (T, N, C, H, W) for the timestep loop.
+                data = np.transpose(data, (1, 0, 2, 3, 4))
+            yield data, labels

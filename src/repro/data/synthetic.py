@@ -1,0 +1,179 @@
+"""Procedural synthetic datasets standing in for CIFAR, N-Caltech101 and DVS Gesture.
+
+Design goals (documented in DESIGN.md):
+
+* **Learnable class structure at laptop scale.**  Each class is defined by a
+  small set of spatial prototypes (oriented gratings + Gaussian blobs) so a
+  few training epochs of a small spiking network separate the classes well
+  above chance — enough signal to observe the accuracy *orderings* the paper
+  reports (baseline >= PTT > STT, HTT between them on static data, HTT worst
+  on dynamic data).
+* **Static vs. dynamic distinction.**  The static generators produce one
+  image per sample (repeated over timesteps by direct coding), so information
+  is redundant across time; the event generators produce *moving* patterns
+  whose frames differ per timestep — exactly the property that makes HTT lose
+  accuracy on N-Caltech101 in the paper.
+* **Determinism.**  Every generator takes a seed; the same seed reproduces
+  the same dataset bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset, EventDataset
+
+__all__ = [
+    "make_static_image_dataset",
+    "make_event_dataset",
+    "SyntheticCIFAR10",
+    "SyntheticCIFAR100",
+    "SyntheticNCaltech101",
+    "SyntheticDVSGesture",
+]
+
+
+def _class_prototype(class_index: int, num_classes: int, channels: int,
+                     height: int, width: int, rng: np.random.Generator) -> np.ndarray:
+    """Deterministic class prototype: oriented grating + localised blob per channel."""
+    yy, xx = np.meshgrid(np.linspace(0, 1, height), np.linspace(0, 1, width), indexing="ij")
+    angle = np.pi * class_index / max(num_classes, 1)
+    frequency = 2.0 + 6.0 * (class_index % 5) / 5.0
+    grating = np.sin(2 * np.pi * frequency * (np.cos(angle) * xx + np.sin(angle) * yy))
+
+    blob_y = 0.2 + 0.6 * ((class_index * 7919) % 97) / 97.0
+    blob_x = 0.2 + 0.6 * ((class_index * 104729) % 89) / 89.0
+    blob = np.exp(-(((yy - blob_y) ** 2 + (xx - blob_x) ** 2) / 0.02))
+
+    proto = np.zeros((channels, height, width), dtype=np.float32)
+    for c in range(channels):
+        channel_phase = rng.uniform(0, 2 * np.pi)
+        channel_grating = np.sin(2 * np.pi * frequency * (np.cos(angle) * xx + np.sin(angle) * yy)
+                                 + channel_phase)
+        proto[c] = 0.5 * channel_grating + 0.8 * blob + 0.3 * grating
+    return proto.astype(np.float32)
+
+
+def make_static_image_dataset(
+    num_samples: int,
+    num_classes: int,
+    channels: int = 3,
+    height: int = 32,
+    width: int = 32,
+    noise: float = 0.3,
+    seed: int = 0,
+) -> ArrayDataset:
+    """Generate a CIFAR-like static image dataset with class-structured content."""
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    prototypes = np.stack([
+        _class_prototype(c, num_classes, channels, height, width, rng)
+        for c in range(num_classes)
+    ])
+    labels = rng.integers(0, num_classes, size=num_samples)
+    # Guarantee every class appears at least once (helps tiny test datasets).
+    labels[:num_classes] = np.arange(num_classes)
+    images = prototypes[labels] + noise * rng.standard_normal(
+        (num_samples, channels, height, width)).astype(np.float32)
+    # Normalise roughly to [0, 1] the way pixel data would be.
+    images = (images - images.min()) / (images.max() - images.min() + 1e-8)
+    return ArrayDataset(images.astype(np.float32), labels.astype(np.int64))
+
+
+def make_event_dataset(
+    num_samples: int,
+    num_classes: int,
+    timesteps: int = 6,
+    channels: int = 2,
+    height: int = 48,
+    width: int = 48,
+    noise: float = 0.15,
+    event_rate: float = 0.25,
+    seed: int = 0,
+) -> EventDataset:
+    """Generate an event-camera-like dataset of moving class patterns.
+
+    Each sample is a ``(T, C, H, W)`` sequence: the class prototype drifts
+    across the frame with a class-dependent velocity (mimicking the saccade
+    motion used to record N-Caltech101 and the hand motion of DVS Gesture),
+    and the two channels carry complementary ON / OFF polarity events.
+    Frames are sparse and binary-ish, like accumulated event counts.
+    """
+    if num_samples < num_classes:
+        raise ValueError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    prototypes = np.stack([
+        _class_prototype(c, num_classes, 1, height, width, rng)[0]
+        for c in range(num_classes)
+    ])
+    labels = rng.integers(0, num_classes, size=num_samples)
+    labels[:num_classes] = np.arange(num_classes)
+
+    frames = np.zeros((num_samples, timesteps, channels, height, width), dtype=np.float32)
+    for sample_index, label in enumerate(labels):
+        base = prototypes[label]
+        # Class-dependent motion direction, sample-dependent speed jitter.
+        angle = 2 * np.pi * label / max(num_classes, 1) + rng.normal(0, 0.2)
+        speed = 2.0 + rng.uniform(0, 2.0)
+        for t in range(timesteps):
+            shift_y = int(round(np.sin(angle) * speed * t))
+            shift_x = int(round(np.cos(angle) * speed * t))
+            moved = np.roll(base, shift=(shift_y, shift_x), axis=(0, 1))
+            moved = moved + noise * rng.standard_normal((height, width))
+            threshold_on = np.quantile(moved, 1.0 - event_rate)
+            threshold_off = np.quantile(moved, event_rate)
+            on_events = (moved >= threshold_on).astype(np.float32)
+            off_events = (moved <= threshold_off).astype(np.float32)
+            if channels == 1:
+                frames[sample_index, t, 0] = on_events
+            else:
+                frames[sample_index, t, 0] = on_events
+                frames[sample_index, t, 1] = off_events
+    return EventDataset(frames, labels.astype(np.int64))
+
+
+class SyntheticCIFAR10(ArrayDataset):
+    """Synthetic stand-in for CIFAR-10: 3x32x32 images, 10 classes."""
+
+    def __init__(self, num_samples: int = 512, height: int = 32, width: int = 32,
+                 noise: float = 0.3, seed: int = 0):
+        dataset = make_static_image_dataset(num_samples, 10, 3, height, width, noise, seed)
+        super().__init__(dataset.images, dataset.labels)
+
+
+class SyntheticCIFAR100(ArrayDataset):
+    """Synthetic stand-in for CIFAR-100: 3x32x32 images, 100 classes."""
+
+    def __init__(self, num_samples: int = 2000, height: int = 32, width: int = 32,
+                 noise: float = 0.3, seed: int = 0):
+        dataset = make_static_image_dataset(num_samples, 100, 3, height, width, noise, seed)
+        super().__init__(dataset.images, dataset.labels)
+
+
+class SyntheticNCaltech101(EventDataset):
+    """Synthetic stand-in for N-Caltech101: 2x48x48 event frames, 101 classes, T=6.
+
+    The defining property preserved from the real dataset is that each
+    timestep carries *different* spatial information (saccade-like motion),
+    so skipping sub-convolutions at late timesteps (HTT) genuinely loses
+    information — the effect behind the HTT accuracy drop in Table II.
+    """
+
+    def __init__(self, num_samples: int = 505, num_classes: int = 101, timesteps: int = 6,
+                 height: int = 48, width: int = 48, seed: int = 0):
+        dataset = make_event_dataset(num_samples, num_classes, timesteps, 2, height, width,
+                                     seed=seed)
+        super().__init__(dataset.frames, dataset.labels)
+
+
+class SyntheticDVSGesture(EventDataset):
+    """Synthetic stand-in for DVS128 Gesture: 2-channel event frames, 11 gesture classes."""
+
+    def __init__(self, num_samples: int = 264, num_classes: int = 11, timesteps: int = 4,
+                 height: int = 48, width: int = 48, seed: int = 0):
+        dataset = make_event_dataset(num_samples, num_classes, timesteps, 2, height, width,
+                                     event_rate=0.2, seed=seed)
+        super().__init__(dataset.frames, dataset.labels)

@@ -1,0 +1,67 @@
+"""Per-sample transforms for static image datasets (standard CIFAR augmentation)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomCrop", "RandomHorizontalFlip"]
+
+
+class Compose:
+    """Apply a list of transforms in order."""
+
+    def __init__(self, transforms: Sequence):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class Normalize:
+    """Channel-wise normalisation ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class RandomHorizontalFlip:
+    """Flip the image horizontally with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.p:
+            return image[..., ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Pad by ``padding`` pixels and crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 4, seed: Optional[int] = None):
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        c, h, w = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                        mode="constant")
+        top = int(self._rng.integers(0, 2 * self.padding + 1))
+        left = int(self._rng.integers(0, 2 * self.padding + 1))
+        return padded[:, top:top + h, left:left + w]

@@ -1,0 +1,39 @@
+"""Experiment drivers: one module per paper table / figure.
+
+Every driver exposes a ``run_*`` function returning structured results and a
+``format_*`` helper printing rows in the paper's layout.  The accuracy /
+training-time columns are measured on laptop-scale synthetic workloads
+(configurable via the ``scale`` arguments); the parameter / FLOP / energy
+columns use the exact paper-scale analytical models, so those ratios
+reproduce the paper's numbers directly.
+
+=============  =====================================================  ==========================
+Experiment     Paper content                                          Driver
+=============  =====================================================  ==========================
+Table II       accuracy / time / params / FLOPs per method            :mod:`repro.experiments.table2`
+Table III      PTT plug-in compatibility (tdBN, TEBN, TET, NDA)       :mod:`repro.experiments.table3`
+Table IV       HTT full/half placement ablation                       :mod:`repro.experiments.table4`
+Fig. 4(a, b)   training energy on existing vs proposed accelerator    :mod:`repro.experiments.fig4`
+Fig. 5(a, b)   accuracy and training time vs timesteps                :mod:`repro.experiments.fig5`
+Table I        accelerator configuration                              :mod:`repro.hardware.config`
+=============  =====================================================  ==========================
+"""
+
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.table3 import run_table3, format_table3
+from repro.experiments.table4 import run_table4, format_table4
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.fig5 import run_fig5, format_fig5
+
+__all__ = [
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "run_table4",
+    "format_table4",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5",
+    "format_fig5",
+]

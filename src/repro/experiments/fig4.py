@@ -1,0 +1,127 @@
+"""Fig. 4: training energy on the existing vs. the proposed accelerator.
+
+* **Fig. 4(a)** simulates baseline / STT / PTT / HTT training energy on the
+  *existing* SATA-like single-engine accelerator for ResNet-18 (T=4) and
+  ResNet-34 (T=6).  Reproduced claims: STT cuts roughly two thirds of the
+  baseline energy (paper: 68.1%), PTT costs ~11% *more* than STT because of
+  the branch DRAM round trip, HTT lands near STT.
+* **Fig. 4(b)** simulates STT / PTT / HTT on the *proposed* multi-cluster
+  accelerator and reports the energy improvements of PTT and HTT over STT
+  (paper: 28.3% and 43.5%).
+
+This driver is fully analytical (no training), so it always runs at paper
+scale with the paper's VBMF ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.accelerator import ExistingAcceleratorModel
+from repro.hardware.multicluster import MultiClusterAcceleratorModel
+from repro.hardware.simulator import TrainingEnergyReport, simulate_methods
+from repro.models.specs import resnet18_layer_specs, resnet34_layer_specs
+from repro.tt.ranks import PAPER_RANKS_RESNET18, PAPER_RANKS_RESNET34
+
+__all__ = ["Fig4Result", "run_fig4", "format_fig4", "ARCHITECTURES"]
+
+#: Architecture settings used by Fig. 4 (both panels).
+ARCHITECTURES: Dict[str, Dict] = {
+    "resnet18": {
+        "specs": lambda: resnet18_layer_specs(num_classes=10),
+        "ranks": PAPER_RANKS_RESNET18,
+        "timesteps": 4,
+        "half_timesteps": 2,
+    },
+    "resnet34": {
+        "specs": lambda: resnet34_layer_specs(num_classes=101),
+        "ranks": PAPER_RANKS_RESNET34,
+        "timesteps": 6,
+        "half_timesteps": 2,
+    },
+}
+
+
+@dataclass
+class Fig4Result:
+    """Energy results for one architecture on both accelerators."""
+
+    architecture: str
+    existing_nj: Dict[str, float] = field(default_factory=dict)
+    proposed_nj: Dict[str, float] = field(default_factory=dict)
+
+    # -- Fig. 4(a) quantities ------------------------------------------------
+
+    @property
+    def stt_saving_vs_baseline_pct(self) -> float:
+        """Energy reduction of STT vs. the dense baseline on the existing accelerator."""
+        base = self.existing_nj["baseline"]
+        return 100.0 * (base - self.existing_nj["stt"]) / base
+
+    @property
+    def ptt_overhead_vs_stt_pct(self) -> float:
+        """Extra energy of PTT vs. STT on the existing accelerator (positive = worse)."""
+        stt = self.existing_nj["stt"]
+        return 100.0 * (self.existing_nj["ptt"] - stt) / stt
+
+    @property
+    def htt_overhead_vs_stt_pct(self) -> float:
+        stt = self.existing_nj["stt"]
+        return 100.0 * (self.existing_nj["htt"] - stt) / stt
+
+    # -- Fig. 4(b) quantities ------------------------------------------------
+
+    @property
+    def ptt_saving_on_proposed_pct(self) -> float:
+        """Energy saving of PTT vs. STT on the proposed multi-cluster accelerator."""
+        stt = self.proposed_nj["stt"]
+        return 100.0 * (stt - self.proposed_nj["ptt"]) / stt
+
+    @property
+    def htt_saving_on_proposed_pct(self) -> float:
+        stt = self.proposed_nj["stt"]
+        return 100.0 * (stt - self.proposed_nj["htt"]) / stt
+
+
+def run_fig4(architectures: Sequence[str] = ("resnet18", "resnet34")) -> List[Fig4Result]:
+    """Simulate both Fig. 4 panels for the requested architectures."""
+    results: List[Fig4Result] = []
+    for arch in architectures:
+        if arch not in ARCHITECTURES:
+            raise KeyError(f"unknown architecture '{arch}'; options: {sorted(ARCHITECTURES)}")
+        setting = ARCHITECTURES[arch]
+        specs = setting["specs"]()
+        existing = simulate_methods(specs, ExistingAcceleratorModel(), setting["ranks"],
+                                    setting["timesteps"], half_timesteps=setting["half_timesteps"])
+        proposed = simulate_methods(specs, MultiClusterAcceleratorModel(), setting["ranks"],
+                                    setting["timesteps"], methods=("stt", "ptt", "htt"),
+                                    half_timesteps=setting["half_timesteps"])
+        results.append(Fig4Result(
+            architecture=arch,
+            existing_nj={k: v.total_nj for k, v in existing.items()},
+            proposed_nj={k: v.total_nj for k, v in proposed.items()},
+        ))
+    return results
+
+
+def format_fig4(results: Sequence[Fig4Result]) -> str:
+    """Text rendering of both panels (values in nJ per training image)."""
+    lines: List[str] = []
+    lines.append("Fig. 4(a) - existing single-engine accelerator (nJ / image)")
+    lines.append(f"{'arch':<10}{'baseline':>14}{'STT':>14}{'PTT':>14}{'HTT':>14}"
+                 f"{'STT vs base':>14}{'PTT vs STT':>12}")
+    for r in results:
+        lines.append(
+            f"{r.architecture:<10}"
+            f"{r.existing_nj['baseline']:>14.3e}{r.existing_nj['stt']:>14.3e}"
+            f"{r.existing_nj['ptt']:>14.3e}{r.existing_nj['htt']:>14.3e}"
+            f"{-r.stt_saving_vs_baseline_pct:>13.1f}%{r.ptt_overhead_vs_stt_pct:>+11.1f}%"
+        )
+    lines.append("")
+    lines.append("Fig. 4(b) - proposed multi-cluster accelerator (savings vs STT)")
+    lines.append(f"{'arch':<10}{'PTT saving':>14}{'HTT saving':>14}")
+    for r in results:
+        lines.append(f"{r.architecture:<10}{r.ptt_saving_on_proposed_pct:>13.1f}%"
+                     f"{r.htt_saving_on_proposed_pct:>13.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Fig. 5: accuracy and training time of STT / PTT / HTT across timesteps.
+
+The paper sweeps the simulation timestep (T = 2, 4, 6) on CIFAR-10 /
+ResNet-18 and shows (a) PTT consistently achieving the highest accuracy and
+(b) HTT consistently training fastest.  This driver runs the same sweep on
+the synthetic static dataset at laptop scale and collects both series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.metrics.profiler import time_training_step
+from repro.models.resnet import spiking_resnet18
+from repro.snn.encoding import DirectEncoder
+from repro.training.config import TrainingConfig
+from repro.training.pipeline import TTSNNPipeline
+
+__all__ = ["Fig5Point", "run_fig5", "format_fig5"]
+
+
+@dataclass
+class Fig5Point:
+    """One (method, timestep) point of Fig. 5."""
+
+    method: str
+    timesteps: int
+    accuracy: float
+    training_time_s: float
+
+
+def run_fig5(
+    timestep_values: Sequence[int] = (2, 4, 6),
+    methods: Sequence[str] = ("stt", "ptt", "htt"),
+    width_scale: float = 0.125,
+    num_samples: int = 48,
+    image_size: int = 16,
+    num_classes: int = 6,
+    epochs: int = 1,
+    batch_size: int = 12,
+    tt_rank: int = 8,
+    measure_accuracy: bool = True,
+    seed: int = 0,
+) -> List[Fig5Point]:
+    """Sweep the timestep count for each TT method (Fig. 5a accuracy, 5b time)."""
+    dataset = make_static_image_dataset(num_samples, num_classes, channels=3,
+                                        height=image_size, width=image_size, seed=seed)
+    points: List[Fig5Point] = []
+    for timesteps in timestep_values:
+        profile_inputs = DirectEncoder(timesteps)(dataset.images[:batch_size])
+        profile_labels = dataset.labels[:batch_size]
+        for method in methods:
+            rng = np.random.default_rng(seed)
+            factory = lambda: spiking_resnet18(num_classes=num_classes, in_channels=3,
+                                               timesteps=timesteps, width_scale=width_scale,
+                                               rng=rng)
+            config = TrainingConfig(timesteps=timesteps, epochs=epochs, batch_size=batch_size,
+                                    learning_rate=0.05, tt_variant=method, tt_rank=tt_rank,
+                                    seed=seed)
+            pipeline = TTSNNPipeline(factory, config)
+            if measure_accuracy:
+                result = pipeline.run(dataset, epochs=epochs, merge_after_training=False)
+                accuracy = result.accuracy
+                model = pipeline.model
+            else:
+                model = pipeline.build()
+                accuracy = float("nan")
+            step_time = time_training_step(model, profile_inputs, profile_labels,
+                                           repeats=2, warmup=1)
+            points.append(Fig5Point(method=method, timesteps=timesteps,
+                                    accuracy=accuracy, training_time_s=step_time))
+    return points
+
+
+def format_fig5(points: Sequence[Fig5Point]) -> str:
+    """Render the two series of Fig. 5 as text tables."""
+    timesteps = sorted({p.timesteps for p in points})
+    methods = sorted({p.method for p in points})
+    by_key: Dict = {(p.method, p.timesteps): p for p in points}
+
+    lines = ["Fig. 5(a) - accuracy (%) vs timestep"]
+    header = f"{'method':<8}" + "".join(f"T={t:<8}" for t in timesteps)
+    lines.append(header)
+    for method in methods:
+        cells = "".join(
+            f"{100 * by_key[(method, t)].accuracy:<10.2f}" if (method, t) in by_key else f"{'-':<10}"
+            for t in timesteps)
+        lines.append(f"{method:<8}{cells}")
+
+    lines.append("")
+    lines.append("Fig. 5(b) - training time (s) vs timestep")
+    lines.append(header)
+    for method in methods:
+        cells = "".join(
+            f"{by_key[(method, t)].training_time_s:<10.3f}" if (method, t) in by_key else f"{'-':<10}"
+            for t in timesteps)
+        lines.append(f"{method:<8}{cells}")
+    return "\n".join(lines)

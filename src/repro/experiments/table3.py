@@ -1,0 +1,181 @@
+"""Table III: PTT as a plug-in for prior SNN training methods.
+
+The paper drops the PTT module into four previously published SNN training
+recipes and shows training-time reductions with small accuracy cost:
+
+=========  =========  ============  =============================================
+Method     Model      Dataset       Ingredient reproduced here
+=========  =========  ============  =============================================
+tdBN       ResNet-20  CIFAR-10      :class:`repro.snn.norm.TDBatchNorm2d`
+TEBN       VGG-9      CIFAR-10      :class:`repro.snn.norm.TEBatchNorm2d`
+TET        VGG-9      DVS Gesture   :class:`repro.snn.loss.TETLoss`
+NDA        VGG-11     DVS Gesture   :class:`repro.snn.augment.NeuromorphicAugment`
+=========  =========  ============  =============================================
+
+Each row trains the base recipe and its PTT-converted counterpart on the
+synthetic stand-in dataset and reports accuracy plus the single-batch
+training time for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.synthetic import make_event_dataset, make_static_image_dataset
+from repro.metrics.profiler import time_training_step
+from repro.models.resnet import spiking_resnet20
+from repro.models.vgg import spiking_vgg9, spiking_vgg11
+from repro.snn.augment import NeuromorphicAugment
+from repro.snn.encoding import DirectEncoder
+from repro.snn.loss import TETLoss
+from repro.training.config import TrainingConfig
+from repro.training.pipeline import TTSNNPipeline
+
+__all__ = ["Table3Row", "run_table3", "format_table3", "COMPATIBILITY_SETTINGS"]
+
+
+@dataclass
+class Table3Row:
+    """One compatibility row: base recipe vs the same recipe with PTT modules."""
+
+    method: str
+    model: str
+    dataset: str
+    base_accuracy: float
+    ptt_accuracy: float
+    base_time_s: float
+    ptt_time_s: float
+
+    @property
+    def time_reduction_pct(self) -> float:
+        if self.base_time_s <= 0:
+            return 0.0
+        return 100.0 * (self.base_time_s - self.ptt_time_s) / self.base_time_s
+
+
+def _settings(width_scale: float, timesteps: int, num_classes: int, seed: int) -> Dict[str, Dict]:
+    """Row definitions: model factory, dataset kind, loss and augmentation."""
+    rng = np.random.default_rng(seed)
+    return {
+        "tdBN": {
+            "model": "resnet20",
+            "dataset": "cifar10",
+            "factory": lambda: spiking_resnet20(num_classes=num_classes, in_channels=3,
+                                                timesteps=timesteps, width_scale=width_scale,
+                                                norm="tdbn", rng=rng),
+            "loss": None,
+            "augment": None,
+            "static": True,
+        },
+        "TEBN": {
+            "model": "vgg9",
+            "dataset": "cifar10",
+            "factory": lambda: spiking_vgg9(num_classes=num_classes, in_channels=3,
+                                            timesteps=timesteps, width_scale=width_scale,
+                                            norm="tebn", rng=rng),
+            "loss": None,
+            "augment": None,
+            "static": True,
+        },
+        "TET": {
+            "model": "vgg9",
+            "dataset": "dvsgesture",
+            "factory": lambda: spiking_vgg9(num_classes=num_classes, in_channels=2,
+                                            timesteps=timesteps, width_scale=width_scale,
+                                            norm="bn", rng=rng),
+            "loss": TETLoss(lamb=0.05),
+            "augment": None,
+            "static": False,
+        },
+        "NDA": {
+            "model": "vgg11",
+            "dataset": "dvsgesture",
+            "factory": lambda: spiking_vgg11(num_classes=num_classes, in_channels=2,
+                                             timesteps=timesteps, width_scale=width_scale,
+                                             norm="bn", rng=rng),
+            "loss": None,
+            "augment": NeuromorphicAugment(seed=seed),
+            "static": False,
+        },
+    }
+
+
+def run_table3(
+    methods: Sequence[str] = ("tdBN", "TEBN", "TET", "NDA"),
+    width_scale: float = 0.25,
+    num_samples: int = 48,
+    image_size: int = 16,
+    timesteps: int = 4,
+    num_classes: int = 6,
+    epochs: int = 2,
+    batch_size: int = 12,
+    tt_rank: int = 6,
+    measure_accuracy: bool = True,
+    seed: int = 0,
+) -> List[Table3Row]:
+    """Reproduce Table III at laptop scale."""
+    all_settings = _settings(width_scale, timesteps, num_classes, seed)
+    unknown = set(methods) - set(all_settings)
+    if unknown:
+        raise KeyError(f"unknown compatibility methods: {sorted(unknown)}")
+
+    static_data = make_static_image_dataset(num_samples, num_classes, channels=3,
+                                            height=image_size, width=image_size, seed=seed)
+    event_data = make_event_dataset(num_samples, num_classes, timesteps=timesteps, channels=2,
+                                    height=image_size, width=image_size, seed=seed)
+
+    rows: List[Table3Row] = []
+    for method in methods:
+        setting = all_settings[method]
+        dataset = static_data if setting["static"] else event_data
+        if setting["static"]:
+            profile_inputs = DirectEncoder(timesteps)(dataset.images[:batch_size])
+            profile_labels = dataset.labels[:batch_size]
+        else:
+            profile_inputs = np.transpose(dataset.frames[:batch_size], (1, 0, 2, 3, 4))[:timesteps]
+            profile_labels = dataset.labels[:batch_size]
+
+        accuracies: Dict[str, float] = {}
+        times: Dict[str, float] = {}
+        for variant_name, variant in (("base", None), ("ptt", "ptt")):
+            config = TrainingConfig(timesteps=timesteps, epochs=epochs, batch_size=batch_size,
+                                    learning_rate=0.05, tt_variant=variant, tt_rank=tt_rank,
+                                    seed=seed)
+            pipeline = TTSNNPipeline(setting["factory"], config, loss_fn=setting["loss"],
+                                     augment=setting["augment"])
+            if measure_accuracy:
+                result = pipeline.run(dataset, epochs=epochs, merge_after_training=False)
+                accuracies[variant_name] = result.accuracy
+                model = pipeline.model
+            else:
+                model = pipeline.build()
+                accuracies[variant_name] = float("nan")
+            times[variant_name] = time_training_step(model, profile_inputs, profile_labels,
+                                                     repeats=2, warmup=1)
+
+        rows.append(Table3Row(
+            method=method,
+            model=setting["model"],
+            dataset=setting["dataset"],
+            base_accuracy=accuracies["base"],
+            ptt_accuracy=accuracies["ptt"],
+            base_time_s=times["base"],
+            ptt_time_s=times["ptt"],
+        ))
+    return rows
+
+
+def format_table3(rows: Sequence[Table3Row]) -> str:
+    """Render rows in the layout of Table III."""
+    lines = [f"{'Method':<8}{'Model':<10}{'Dataset':<12}{'Acc base/PTT (%)':<22}"
+             f"{'Time base/PTT (s)':<22}{'Time red.':<10}"]
+    for row in rows:
+        acc = f"{100 * row.base_accuracy:.1f} / {100 * row.ptt_accuracy:.1f}" \
+            if np.isfinite(row.base_accuracy) else "- / -"
+        times = f"{row.base_time_s:.3f} / {row.ptt_time_s:.3f}"
+        lines.append(f"{row.method:<8}{row.model:<10}{row.dataset:<12}{acc:<22}{times:<22}"
+                     f"{row.time_reduction_pct:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Analytical SNN training-accelerator energy model.
+
+The paper evaluates training energy on two accelerators:
+
+* the **existing** SATA-style single-engine SNN training accelerator
+  (Yin et al., TCAD 2022), where every (sub-)convolutional layer is mapped
+  onto the compute engine sequentially, and
+* the **proposed** multi-cluster systolic-array accelerator (Sec. IV,
+  Table I): four clusters, with clusters 2 and 3 running the two parallel
+  TT sub-convolutions concurrently and an adder array merging their outputs
+  before cluster 4.
+
+Synopsys DC / CACTI / SATASim are not available in this environment, so this
+package provides an analytical event-driven energy model with the same
+structure: compute energy (sparsity-aware accumulates for spike inputs,
+multiply-accumulates elsewhere), SRAM buffer traffic, scratch-pad traffic and
+DRAM traffic, for both the forward and the BPTT backward pass, summed over
+timesteps.  The absolute joule numbers are 28 nm-class estimates; the
+reproduced quantities are the *relative* results of Fig. 4:
+
+* STT cuts roughly two thirds of the baseline training energy (paper: 68.1%),
+* PTT costs *more* than STT on the existing accelerator (paper: +10.9%)
+  because the parallel branch output must round-trip through DRAM,
+* on the proposed accelerator PTT and HTT cut ~28% / ~44% of STT's energy.
+"""
+
+from repro.hardware.config import AcceleratorConfig, EnergyTable, TABLE_I_CONFIG
+from repro.hardware.workload import (
+    LayerWorkload,
+    SubLayerWorkload,
+    build_layer_workloads,
+    tt_sublayer_workloads,
+)
+from repro.hardware.accelerator import ExistingAcceleratorModel
+from repro.hardware.multicluster import MultiClusterAcceleratorModel
+from repro.hardware.simulator import (
+    TrainingEnergyReport,
+    simulate_methods,
+    simulate_training_energy,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "EnergyTable",
+    "TABLE_I_CONFIG",
+    "LayerWorkload",
+    "SubLayerWorkload",
+    "build_layer_workloads",
+    "tt_sublayer_workloads",
+    "ExistingAcceleratorModel",
+    "MultiClusterAcceleratorModel",
+    "TrainingEnergyReport",
+    "simulate_training_energy",
+    "simulate_methods",
+]

@@ -1,0 +1,207 @@
+"""Energy/latency model of the *existing* single-engine SNN training accelerator.
+
+This models the SATA-style accelerator the paper uses as its hardware
+baseline (Fig. 4a): a single compute engine onto which every
+(sub-)convolutional layer is mapped sequentially, processing all timesteps of
+one layer before moving to the next, with global SRAM buffers for weights /
+spikes / membrane potentials and an off-chip DRAM for everything that does
+not fit on chip.
+
+Energy is decomposed into
+
+* **dynamic compute** — accumulates for binary-spike inputs (sparsity aware),
+  full multiply-accumulates for non-binary inputs and for all backward-pass
+  gradient computations;
+* **on-chip traffic** — global-buffer reads/writes for weights, activations
+  and gradients, scratch-pad traffic per MAC;
+* **off-chip traffic** — per-training-step weight fetch and weight-gradient
+  write-back, per-timestep storage of each logical layer's spikes and
+  membrane potentials (needed by BPTT), and — the PTT/HTT penalty on this
+  accelerator — the round trip of one parallel-branch output through DRAM
+  because the single engine must serialise the two branches (Sec. V-B);
+* **static (leakage)** — leakage power times execution cycles; cycles follow
+  from the MAC count over the PE array width.
+
+The absolute constants are 28 nm-class estimates (see
+:class:`repro.hardware.config.EnergyTable`); Fig. 4's *relative* results are
+what this model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.config import AcceleratorConfig, existing_accelerator_config
+from repro.hardware.workload import LayerWorkload, SubLayerWorkload
+
+__all__ = ["EnergyBreakdown", "ExistingAcceleratorModel"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (picojoules) split by component, plus execution cycles.
+
+    ``leakage_cycles`` weights each cycle by the fraction of the chip that is
+    powered: the proposed multi-cluster design gates the idle branch clusters
+    on HTT's half timesteps, so those cycles leak less than full-chip cycles.
+    """
+
+    compute_pj: float = 0.0
+    sram_pj: float = 0.0
+    dram_pj: float = 0.0
+    static_pj: float = 0.0
+    cycles: float = 0.0
+    leakage_cycles: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return self.compute_pj + self.sram_pj + self.dram_pj + self.static_pj
+
+    @property
+    def total_nj(self) -> float:
+        return self.total_pj / 1e3
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        self.compute_pj += other.compute_pj
+        self.sram_pj += other.sram_pj
+        self.dram_pj += other.dram_pj
+        self.static_pj += other.static_pj
+        self.cycles += other.cycles
+        self.leakage_cycles += other.leakage_cycles
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "compute_pj": self.compute_pj,
+            "sram_pj": self.sram_pj,
+            "dram_pj": self.dram_pj,
+            "static_pj": self.static_pj,
+            "total_pj": self.total_pj,
+            "cycles": self.cycles,
+            "leakage_cycles": self.leakage_cycles,
+        }
+
+
+class ExistingAcceleratorModel:
+    """Analytical model of the existing (single-engine, SATA-like) accelerator."""
+
+    #: leakage power of the whole chip in milliwatts (28 nm-class estimate)
+    leakage_mw: float = 60.0
+    #: fraction of potential spikes that are zero (SNN activation sparsity)
+    spike_sparsity: float = 0.75
+    #: backward pass computes dL/dx and dL/dW: twice the forward MACs, dense
+    backward_mac_factor: float = 2.0
+    #: scratch-pad bytes touched per MAC (operand staging in the PE)
+    spad_bytes_per_mac: float = 1.0
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None):
+        self.config = config or existing_accelerator_config()
+        self.config.validate()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _compute_energy(self, sub: SubLayerWorkload, backward: bool) -> float:
+        energy = self.config.energy
+        if backward:
+            return sub.macs * self.backward_mac_factor * energy.mac_pj
+        if sub.spike_input:
+            return sub.macs * (1.0 - self.spike_sparsity) * energy.ac_pj
+        return sub.macs * energy.mac_pj
+
+    def _cycles(self, sub: SubLayerWorkload, backward: bool) -> float:
+        macs = sub.macs * (self.backward_mac_factor if backward else 1.0)
+        return macs / max(self.config.total_pes, 1)
+
+    def _spad_energy(self, sub: SubLayerWorkload, backward: bool) -> float:
+        energy = self.config.energy
+        macs = sub.macs * (self.backward_mac_factor if backward else 1.0)
+        return macs * self.spad_bytes_per_mac * energy.spad_pj_per_byte
+
+    # -- per layer/timestep --------------------------------------------------
+
+    def _active_sublayers(self, layer: LayerWorkload, half_timestep: bool) -> List[SubLayerWorkload]:
+        if not half_timestep:
+            return layer.sublayers
+        return [s for s in layer.sublayers if not s.skippable_on_half]
+
+    def forward_energy(self, layer: LayerWorkload, half_timestep: bool = False) -> EnergyBreakdown:
+        """Forward-pass energy of one logical layer for one timestep."""
+        cfg = self.config
+        e = cfg.energy
+        out = EnergyBreakdown()
+        active = self._active_sublayers(layer, half_timestep)
+        for index, sub in enumerate(active):
+            out.compute_pj += self._compute_energy(sub, backward=False)
+            out.sram_pj += self._spad_energy(sub, backward=False)
+            out.cycles += self._cycles(sub, backward=False)
+            # Weights are resident in the filter buffer; one read per use.
+            out.sram_pj += sub.weight_elems * cfg.weight_bytes * e.sram_read_pj_per_byte
+            # Inputs: the first sub-layer reads the logical layer input (spikes)
+            # from the global spike buffer; later sub-layers read the previous
+            # sub-layer's output from the global output buffer.
+            out.sram_pj += sub.input_elems * cfg.activation_bytes * e.sram_read_pj_per_byte
+            # Outputs: intermediate sub-layer outputs go to the output buffer;
+            # the last sub-layer's output feeds the LIF units.
+            out.sram_pj += sub.output_elems * cfg.activation_bytes * e.sram_write_pj_per_byte
+
+        # Parallel-branch penalty: the single engine computes the two branches
+        # one after another, and the first branch's output cannot stay in the
+        # (single) output buffer while the second branch runs, so it round
+        # trips through DRAM before the merge (Sec. V-B: +10.9% for PTT).
+        branch_outputs = [s for s in active if s.parallel_group == "branch"]
+        if len(branch_outputs) >= 2:
+            spilled = branch_outputs[0]
+            out.dram_pj += spilled.output_elems * cfg.activation_bytes * 2 * e.dram_pj_per_byte
+
+        # LIF units: one membrane update per output neuron of the logical layer.
+        last = layer.sublayers[-1]
+        out.compute_pj += last.output_elems * e.lif_update_pj
+        # BPTT needs the spikes and membrane potentials of every timestep:
+        # write them off-chip (this is the dominant training-memory cost).
+        out.dram_pj += last.output_elems * (cfg.activation_bytes + cfg.gradient_bytes) \
+            * e.dram_pj_per_byte
+        out.leakage_cycles = out.cycles  # the single engine has no cluster gating
+        return out
+
+    def backward_energy(self, layer: LayerWorkload, half_timestep: bool = False) -> EnergyBreakdown:
+        """Backward-pass (BPTT) energy of one logical layer for one timestep."""
+        cfg = self.config
+        e = cfg.energy
+        out = EnergyBreakdown()
+        active = self._active_sublayers(layer, half_timestep)
+        for sub in active:
+            out.compute_pj += self._compute_energy(sub, backward=True)
+            out.sram_pj += self._spad_energy(sub, backward=True)
+            out.cycles += self._cycles(sub, backward=True)
+            # Gradient maps move through the global buffers (16-bit).
+            out.sram_pj += (sub.input_elems + sub.output_elems) * cfg.gradient_bytes \
+                * (e.sram_read_pj_per_byte + e.sram_write_pj_per_byte) / 2
+            # Weight read for dL/dx and weight-gradient accumulation on chip.
+            out.sram_pj += sub.weight_elems * cfg.weight_bytes * 2 * e.sram_read_pj_per_byte
+
+        branch_outputs = [s for s in active if s.parallel_group == "branch"]
+        if len(branch_outputs) >= 2:
+            spilled = branch_outputs[0]
+            out.dram_pj += spilled.output_elems * cfg.gradient_bytes * 2 * e.dram_pj_per_byte
+
+        # Re-fetch the stored spikes and membrane potentials of this timestep.
+        last = layer.sublayers[-1]
+        out.dram_pj += last.output_elems * (cfg.activation_bytes + cfg.gradient_bytes) \
+            * e.dram_pj_per_byte
+        out.leakage_cycles = out.cycles
+        return out
+
+    def per_step_energy(self, layer: LayerWorkload) -> EnergyBreakdown:
+        """Per-training-step (not per-timestep) costs: weight fetch and gradient write-back."""
+        cfg = self.config
+        e = cfg.energy
+        out = EnergyBreakdown()
+        weight_bytes = layer.total_weight_elems * cfg.weight_bytes
+        out.dram_pj += weight_bytes * e.dram_pj_per_byte                       # fetch weights
+        out.dram_pj += layer.total_weight_elems * cfg.gradient_bytes * e.dram_pj_per_byte  # write dW
+        return out
+
+    def static_energy(self, cycles: float) -> float:
+        """Leakage energy for a number of cycles at the configured frequency."""
+        cycle_seconds = 1.0 / (self.config.frequency_mhz * 1e6)
+        return self.leakage_mw * 1e-3 * cycles * cycle_seconds * 1e12  # -> pJ

@@ -1,0 +1,111 @@
+"""Hardware configuration (Table I) and per-operation energy constants.
+
+The per-operation energies are 28 nm-class estimates in picojoules, in line
+with the numbers commonly used by accelerator papers (Horowitz ISSCC'14
+scaling): an 8-bit multiply plus 16-bit accumulate costs a fraction of a
+picojoule, SRAM accesses cost a few picojoules per byte depending on the
+array size, and DRAM accesses are two orders of magnitude above SRAM.  The
+absolute values only set the overall scale; the Fig. 4 reproductions depend
+on their *ratios*, which are standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EnergyTable", "AcceleratorConfig", "TABLE_I_CONFIG"]
+
+
+@dataclass
+class EnergyTable:
+    """Per-operation energy constants (picojoules).
+
+    Attributes
+    ----------
+    mac_pj:
+        One 8-bit multiply + 16-bit accumulate (clusters 2-4, which see
+        non-binary inputs).
+    ac_pj:
+        One 16-bit accumulate only — used for spike (binary) inputs where the
+        multiplier is bypassed (cluster 1 PEs in the paper's design).
+    lif_update_pj:
+        One LIF membrane update (leak, compare, reset).
+    sram_read_pj_per_byte, sram_write_pj_per_byte:
+        Global SRAM buffer access energy per byte.
+    spad_pj_per_byte:
+        Register-file scratch-pad access energy per byte (local to a PE).
+    dram_pj_per_byte:
+        Off-chip DRAM access energy per byte.
+    """
+
+    mac_pj: float = 0.23
+    ac_pj: float = 0.03
+    lif_update_pj: float = 0.10
+    sram_read_pj_per_byte: float = 0.60
+    sram_write_pj_per_byte: float = 0.70
+    spad_pj_per_byte: float = 0.08
+    dram_pj_per_byte: float = 80.0
+
+
+@dataclass
+class AcceleratorConfig:
+    """Structural accelerator parameters (Table I of the paper).
+
+    ``num_clusters = 1`` describes the existing single-engine (SATA-style)
+    accelerator; the proposed design uses four clusters of 32 PEs each with a
+    272 KB global buffer budget split across filter / input-spike / output /
+    membrane-potential / output-spike buffers.
+    """
+
+    name: str = "proposed-multi-cluster"
+    technology_nm: int = 28
+    frequency_mhz: int = 400
+    num_clusters: int = 4
+    pes_per_cluster: int = 32
+    scratchpad_bytes_per_pe: int = 32
+    filter_buffer_kb: int = 144
+    input_spike_buffer_kb: int = 32
+    output_buffer_kb: int = 32
+    membrane_buffer_kb: int = 32
+    output_spike_buffer_kb: int = 32
+    accumulator_bits: int = 16
+    multiplier_bits: int = 8
+    weight_bytes: int = 1        # 8-bit weights
+    activation_bytes: int = 1    # 8-bit activations (spikes are 1 bit, kept at a byte granularity)
+    gradient_bytes: int = 2      # 16-bit gradients / membrane potentials
+    energy: EnergyTable = field(default_factory=EnergyTable)
+
+    @property
+    def total_global_buffer_kb(self) -> int:
+        """Total global SRAM budget (Table I reports 272 KB)."""
+        return (self.filter_buffer_kb + self.input_spike_buffer_kb + self.output_buffer_kb
+                + self.membrane_buffer_kb + self.output_spike_buffer_kb)
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_clusters * self.pes_per_cluster
+
+    def validate(self) -> None:
+        """Sanity-check the configuration values."""
+        if self.num_clusters < 1 or self.pes_per_cluster < 1:
+            raise ValueError("cluster and PE counts must be positive")
+        if self.weight_bytes < 1 or self.activation_bytes < 1 or self.gradient_bytes < 1:
+            raise ValueError("datatype byte widths must be positive")
+
+
+# The exact configuration of Table I.
+TABLE_I_CONFIG = AcceleratorConfig()
+
+
+def existing_accelerator_config() -> AcceleratorConfig:
+    """Configuration of the existing single-engine (SATA-like) training accelerator."""
+    return AcceleratorConfig(
+        name="existing-single-engine",
+        num_clusters=1,
+        pes_per_cluster=128,
+        filter_buffer_kb=144,
+        input_spike_buffer_kb=32,
+        output_buffer_kb=32,
+        membrane_buffer_kb=32,
+        output_spike_buffer_kb=32,
+    )

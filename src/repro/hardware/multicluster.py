@@ -1,0 +1,147 @@
+"""Energy/latency model of the *proposed* multi-cluster TT-SNN training accelerator.
+
+Implements the Sec. IV design (Table I): four systolic compute clusters,
+where cluster 1 runs the first 1x1 sub-convolution on binary spikes
+(accumulate-only PEs), clusters 2 and 3 run the vertical / horizontal TT
+branches **in parallel** on the buffered output of cluster 1, an adder array
+merges the branch outputs, and cluster 4 runs the final 1x1 before the LIF
+array converts results back to spikes.  Output-stationary dataflow is used in
+clusters 1/4 and weight-stationary in clusters 2/3, and the whole design is
+pipelined so intermediate sub-convolution results travel through local
+buffers and the adder array rather than the global buffers or DRAM.
+
+Differences from :class:`~repro.hardware.accelerator.ExistingAcceleratorModel`
+that produce the Fig. 4b improvements:
+
+* no DRAM round trip for the parallel branch (the adder array consumes both
+  branch outputs directly);
+* cluster-to-cluster forwarding uses scratch-pad-class energy instead of
+  global-buffer reads/writes, and the shared cluster-1 output is broadcast
+  to clusters 2 and 3 (one read serves both);
+* clusters 2 and 3 overlap in time, so the leakage (static) energy — which
+  all four clusters pay whenever the pipeline is busy — integrates over a
+  shorter schedule;
+* on HTT's half timesteps clusters 2/3 are idle and gated off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hardware.accelerator import EnergyBreakdown, ExistingAcceleratorModel
+from repro.hardware.config import AcceleratorConfig, TABLE_I_CONFIG
+from repro.hardware.workload import LayerWorkload, SubLayerWorkload
+
+__all__ = ["MultiClusterAcceleratorModel"]
+
+
+class MultiClusterAcceleratorModel(ExistingAcceleratorModel):
+    """Analytical model of the proposed 4-cluster accelerator (Table I)."""
+
+    #: the four clusters plus the adder arrays, LIF arrays and the larger set
+    #: of distributed buffers leak more than the single-engine design
+    leakage_mw: float = 80.0
+    #: fraction of the chip still powered on HTT's half timesteps, when the
+    #: two branch clusters (half of the compute fabric) are gated off
+    half_timestep_leak_fraction: float = 0.5
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None):
+        super().__init__(config or TABLE_I_CONFIG)
+
+    # -- schedule ------------------------------------------------------------
+
+    def _sublayer_cycles(self, sub: SubLayerWorkload, backward: bool) -> float:
+        """Cycles of one sub-layer on ONE cluster (32 PEs), not the whole chip."""
+        macs = sub.macs * (self.backward_mac_factor if backward else 1.0)
+        return macs / max(self.config.pes_per_cluster, 1)
+
+    def _schedule_cycles(self, active: List[SubLayerWorkload], backward: bool) -> float:
+        """Pipelined schedule length of one logical layer.
+
+        Clusters 2 and 3 run the two branches concurrently, and the adder
+        array feeds cluster 4 tile by tile, so the branch stage and the final
+        1x1 stage overlap in steady state: the schedule is the cluster-1 time
+        plus the slowest of the downstream stages.  Layers without a parallel
+        group (STT sub-chains, dense layers) are strictly sequential because
+        each sub-convolution needs the full output of the previous one before
+        its weight-stationary pass can stream.
+        """
+        branch = [s for s in active if s.parallel_group == "branch"]
+        if not branch:
+            return sum(self._sublayer_cycles(s, backward) for s in active)
+        head = self._sublayer_cycles(active[0], backward)
+        downstream = [self._sublayer_cycles(s, backward) for s in active[1:]]
+        return head + max(downstream)
+
+    # -- per layer/timestep ----------------------------------------------------
+
+    def forward_energy(self, layer: LayerWorkload, half_timestep: bool = False) -> EnergyBreakdown:
+        cfg = self.config
+        e = cfg.energy
+        out = EnergyBreakdown()
+        active = self._active_sublayers(layer, half_timestep)
+        branch_members = [s for s in active if s.parallel_group == "branch"]
+        branch_input_charged = False
+
+        for sub in active:
+            out.compute_pj += self._compute_energy(sub, backward=False)
+            out.sram_pj += self._spad_energy(sub, backward=False)
+            # Weights stream from the filter buffer exactly as before.
+            out.sram_pj += sub.weight_elems * cfg.weight_bytes * e.sram_read_pj_per_byte
+            is_first = sub is active[0]
+            is_last = sub is active[-1]
+            # Inputs: the first sub-layer reads the logical layer's spikes from
+            # the global spike buffer; intermediate inputs are forwarded
+            # cluster-to-cluster through local buffers (scratch-pad energy).
+            # The two parallel branches share a single broadcast read.
+            if is_first:
+                out.sram_pj += sub.input_elems * cfg.activation_bytes * e.sram_read_pj_per_byte
+            elif sub.parallel_group == "branch":
+                if not branch_input_charged:
+                    out.sram_pj += sub.input_elems * cfg.activation_bytes * e.sram_read_pj_per_byte
+                    branch_input_charged = True
+            else:
+                out.sram_pj += sub.input_elems * cfg.activation_bytes * e.spad_pj_per_byte
+            # Outputs: intermediate results go to local buffers / the adder
+            # array; only the logical layer output is written to the global
+            # output buffer for the LIF units.
+            if is_last:
+                out.sram_pj += sub.output_elems * cfg.activation_bytes * e.sram_write_pj_per_byte
+            else:
+                out.sram_pj += sub.output_elems * cfg.activation_bytes * e.spad_pj_per_byte
+
+        # Adder array merging the two branches (one add per merged element).
+        if len(branch_members) >= 2:
+            out.compute_pj += branch_members[0].output_elems * e.ac_pj
+
+        out.cycles += self._schedule_cycles(active, backward=False)
+        # On HTT's half timesteps the branch clusters (2 of 4) are power gated.
+        out.leakage_cycles = out.cycles * (self.half_timestep_leak_fraction if half_timestep else 1.0)
+
+        last = layer.sublayers[-1]
+        out.compute_pj += last.output_elems * e.lif_update_pj
+        out.dram_pj += last.output_elems * (cfg.activation_bytes + cfg.gradient_bytes) \
+            * e.dram_pj_per_byte
+        return out
+
+    def backward_energy(self, layer: LayerWorkload, half_timestep: bool = False) -> EnergyBreakdown:
+        cfg = self.config
+        e = cfg.energy
+        out = EnergyBreakdown()
+        active = self._active_sublayers(layer, half_timestep)
+        for sub in active:
+            out.compute_pj += self._compute_energy(sub, backward=True)
+            out.sram_pj += self._spad_energy(sub, backward=True)
+            is_boundary = sub is active[0] or sub is active[-1]
+            traffic_cost = (e.sram_read_pj_per_byte + e.sram_write_pj_per_byte) / 2 \
+                if is_boundary else e.spad_pj_per_byte
+            out.sram_pj += (sub.input_elems + sub.output_elems) * cfg.gradient_bytes * traffic_cost
+            out.sram_pj += sub.weight_elems * cfg.weight_bytes * 2 * e.sram_read_pj_per_byte
+
+        out.cycles += self._schedule_cycles(active, backward=True)
+        out.leakage_cycles = out.cycles * (self.half_timestep_leak_fraction if half_timestep else 1.0)
+
+        last = layer.sublayers[-1]
+        out.dram_pj += last.output_elems * (cfg.activation_bytes + cfg.gradient_bytes) \
+            * e.dram_pj_per_byte
+        return out

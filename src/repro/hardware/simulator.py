@@ -1,0 +1,125 @@
+"""Training-energy simulation: aggregate per-layer/per-timestep energies.
+
+``simulate_training_energy`` mirrors what the paper obtains from SATASim:
+the energy of training **one image** — the forward and the BPTT backward pass
+across all timesteps and all layers — on a given accelerator model, including
+computation and all data movement (Sec. V-A, "Hardware").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.hardware.accelerator import EnergyBreakdown, ExistingAcceleratorModel
+from repro.hardware.workload import LayerWorkload, build_layer_workloads
+from repro.models.specs import LayerSpec
+
+__all__ = ["TrainingEnergyReport", "simulate_training_energy", "simulate_methods"]
+
+
+@dataclass
+class TrainingEnergyReport:
+    """Result of one training-energy simulation."""
+
+    method: str
+    accelerator: str
+    timesteps: int
+    half_timesteps: int
+    breakdown: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    per_layer_pj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return self.breakdown.total_pj
+
+    @property
+    def total_nj(self) -> float:
+        return self.breakdown.total_pj / 1e3
+
+    @property
+    def total_uj(self) -> float:
+        return self.breakdown.total_pj / 1e6
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {"method": self.method, "accelerator": self.accelerator,
+                  "total_nj": self.total_nj, "cycles": self.breakdown.cycles}
+        result.update({k: v / 1e3 for k, v in self.breakdown.as_dict().items() if k.endswith("_pj")})
+        return result
+
+
+def _half_flags(method: str, timesteps: int, half_timesteps: int) -> List[bool]:
+    """Per-timestep flags: True when HTT runs its half path at that timestep."""
+    if method != "htt" or half_timesteps <= 0:
+        return [False] * timesteps
+    full = timesteps - half_timesteps
+    return [False] * full + [True] * half_timesteps
+
+
+def simulate_training_energy(
+    specs: Sequence[LayerSpec],
+    method: str,
+    accelerator: ExistingAcceleratorModel,
+    ranks: Union[int, Sequence[int]] = 8,
+    timesteps: int = 4,
+    half_timesteps: Optional[int] = None,
+) -> TrainingEnergyReport:
+    """Simulate the training energy of one image for one method on one accelerator.
+
+    Parameters
+    ----------
+    specs:
+        Paper-scale layer specifications.
+    method:
+        ``"baseline"``, ``"stt"``, ``"ptt"`` or ``"htt"``.
+    accelerator:
+        :class:`ExistingAcceleratorModel` or
+        :class:`~repro.hardware.multicluster.MultiClusterAcceleratorModel`.
+    ranks:
+        Per-layer TT ranks (ignored for the baseline).
+    timesteps:
+        Number of simulation timesteps (4 for CIFAR, 6 for N-Caltech101).
+    half_timesteps:
+        Number of late timesteps that use the HTT half path (defaults to
+        ``timesteps // 2`` when the method is HTT).
+    """
+    method = method.lower()
+    if half_timesteps is None:
+        half_timesteps = timesteps // 2 if method == "htt" else 0
+    if not 0 <= half_timesteps <= timesteps:
+        raise ValueError(f"half_timesteps must lie in [0, {timesteps}], got {half_timesteps}")
+    workloads = build_layer_workloads(specs, method, ranks)
+    flags = _half_flags(method, timesteps, half_timesteps)
+
+    report = TrainingEnergyReport(method=method, accelerator=accelerator.config.name,
+                                  timesteps=timesteps, half_timesteps=half_timesteps)
+    for layer in workloads:
+        layer_breakdown = EnergyBreakdown()
+        for half in flags:
+            layer_breakdown.add(accelerator.forward_energy(layer, half_timestep=half))
+            layer_breakdown.add(accelerator.backward_energy(layer, half_timestep=half))
+        layer_breakdown.add(accelerator.per_step_energy(layer))
+        report.breakdown.add(layer_breakdown)
+        report.per_layer_pj[layer.name] = layer_breakdown.total_pj
+
+    # Leakage integrates over the schedule length, weighted by how much of the
+    # chip is powered during each phase (cluster gating on HTT half timesteps).
+    report.breakdown.static_pj += accelerator.static_energy(report.breakdown.leakage_cycles)
+    return report
+
+
+def simulate_methods(
+    specs: Sequence[LayerSpec],
+    accelerator: ExistingAcceleratorModel,
+    ranks: Union[int, Sequence[int]],
+    timesteps: int,
+    methods: Sequence[str] = ("baseline", "stt", "ptt", "htt"),
+    half_timesteps: Optional[int] = None,
+) -> Dict[str, TrainingEnergyReport]:
+    """Simulate several methods on the same accelerator and return all reports."""
+    return {
+        method: simulate_training_energy(specs, method, accelerator, ranks=ranks,
+                                         timesteps=timesteps,
+                                         half_timesteps=half_timesteps if method == "htt" else 0)
+        for method in methods
+    }

@@ -1,0 +1,185 @@
+"""Workload extraction: turn layer specs into per-(sub-)layer accelerator workloads.
+
+A *workload* describes what one convolutional (sub-)layer asks of the
+accelerator during one timestep of the forward pass: how many
+multiply-accumulates, how many bytes of weights, inputs and outputs move, and
+whether the inputs are binary spikes (which lets cluster-1-style PEs use
+cheap accumulates instead of multiplies).
+
+The TT variants expand every decomposable convolution into four sub-layer
+workloads (Fig. 1); the ``parallel_group`` tag marks the two branches that
+the proposed accelerator runs concurrently on clusters 2 and 3 and that the
+existing accelerator must serialise (causing the DRAM round trip of Fig. 4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.models.specs import LayerSpec
+
+__all__ = ["SubLayerWorkload", "LayerWorkload", "tt_sublayer_workloads", "build_layer_workloads"]
+
+
+@dataclass
+class SubLayerWorkload:
+    """One (sub-)convolution's per-timestep resource demand.
+
+    Attributes
+    ----------
+    name:
+        Qualified name, e.g. ``"resnet18.stages.0.0.conv1/tt2"``.
+    macs:
+        Multiply-accumulate count for one timestep (dense, before sparsity).
+    weight_elems, input_elems, output_elems:
+        Element counts of the weight tensor, input activation map and output
+        activation map.
+    spike_input:
+        ``True`` when the inputs are binary spikes (accumulate-only PEs).
+    parallel_group:
+        ``None`` for ordinary layers, or a group label shared by the two
+        parallel TT branches (``"branch"``), which the multi-cluster design
+        overlaps.
+    skippable_on_half:
+        ``True`` for the sub-convolutions HTT skips on its half timesteps
+        (the vertical / horizontal branches).
+    """
+
+    name: str
+    macs: int
+    weight_elems: int
+    input_elems: int
+    output_elems: int
+    spike_input: bool = True
+    parallel_group: Optional[str] = None
+    skippable_on_half: bool = False
+
+
+@dataclass
+class LayerWorkload:
+    """All sub-layer workloads corresponding to one logical network layer."""
+
+    name: str
+    sublayers: List[SubLayerWorkload] = field(default_factory=list)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(s.macs for s in self.sublayers)
+
+    @property
+    def total_weight_elems(self) -> int:
+        return sum(s.weight_elems for s in self.sublayers)
+
+
+def _dense_sublayer(spec: LayerSpec) -> SubLayerWorkload:
+    return SubLayerWorkload(
+        name=spec.name,
+        macs=spec.macs,
+        weight_elems=spec.params,
+        input_elems=spec.in_channels * spec.input_hw[0] * spec.input_hw[1],
+        output_elems=spec.out_channels * spec.output_hw[0] * spec.output_hw[1],
+        spike_input=True,
+        parallel_group=None,
+        skippable_on_half=False,
+    )
+
+
+def tt_sublayer_workloads(spec: LayerSpec, rank: int, parallel: bool) -> List[SubLayerWorkload]:
+    """Expand one decomposable convolution into its four TT sub-layer workloads.
+
+    ``parallel`` distinguishes the PTT/HTT wiring (branches share conv1's
+    output and are tagged as a parallel group) from the STT chain.  The
+    stride sits on the first 1x1 (the paper's convention), so sub-layers 2-4
+    operate at output resolution.
+    """
+    kh, kw = spec.kernel_size
+    oh, ow = spec.output_hw
+    in_c, out_c = spec.in_channels, spec.out_channels
+    r = rank
+    out_hw = oh * ow
+    in_hw = spec.input_hw[0] * spec.input_hw[1]
+
+    conv1 = SubLayerWorkload(
+        name=f"{spec.name}/tt1",
+        macs=r * in_c * out_hw,
+        weight_elems=r * in_c,
+        input_elems=in_c * in_hw,
+        output_elems=r * out_hw,
+        spike_input=True,                      # consumes the previous layer's spikes
+        parallel_group=None,
+        skippable_on_half=False,
+    )
+    conv2 = SubLayerWorkload(
+        name=f"{spec.name}/tt2",
+        macs=r * r * kh * out_hw,
+        weight_elems=r * r * kh,
+        input_elems=r * out_hw,
+        output_elems=r * out_hw,
+        spike_input=False,
+        parallel_group="branch" if parallel else None,
+        skippable_on_half=True,
+    )
+    conv3 = SubLayerWorkload(
+        name=f"{spec.name}/tt3",
+        macs=r * r * kw * out_hw,
+        weight_elems=r * r * kw,
+        input_elems=r * out_hw,
+        output_elems=r * out_hw,
+        spike_input=False,
+        parallel_group="branch" if parallel else None,
+        skippable_on_half=True,
+    )
+    conv4 = SubLayerWorkload(
+        name=f"{spec.name}/tt4",
+        macs=out_c * r * out_hw,
+        weight_elems=out_c * r,
+        input_elems=r * out_hw,
+        output_elems=out_c * out_hw,
+        spike_input=False,
+        parallel_group=None,
+        skippable_on_half=False,
+    )
+    return [conv1, conv2, conv3, conv4]
+
+
+def build_layer_workloads(
+    specs: Sequence[LayerSpec],
+    method: str,
+    ranks: Union[int, Sequence[int]],
+) -> List[LayerWorkload]:
+    """Build the per-layer workload list for a training method.
+
+    Parameters
+    ----------
+    specs:
+        Paper-scale layer specifications (:mod:`repro.models.specs`).
+    method:
+        ``"baseline"``, ``"stt"``, ``"ptt"`` or ``"htt"``.
+    ranks:
+        TT rank per decomposable layer (int or list); ignored for the
+        baseline.
+    """
+    method = method.lower()
+    if method not in ("baseline", "stt", "ptt", "htt"):
+        raise ValueError(f"unknown method '{method}'")
+    workloads: List[LayerWorkload] = []
+    decomposable_index = 0
+    for spec in specs:
+        if spec.kind != "conv":
+            # The classifier's contribution to training energy is negligible
+            # and the paper's accelerator handles it separately; keep it as a
+            # dense workload for completeness.
+            workloads.append(LayerWorkload(spec.name, [_dense_sublayer(spec)]))
+            continue
+        if method == "baseline" or not spec.decomposable:
+            workloads.append(LayerWorkload(spec.name, [_dense_sublayer(spec)]))
+            continue
+        if isinstance(ranks, int):
+            rank = ranks
+        else:
+            rank = int(list(ranks)[decomposable_index])
+        decomposable_index += 1
+        parallel = method in ("ptt", "htt")
+        workloads.append(LayerWorkload(spec.name, tt_sublayer_workloads(spec, rank, parallel)))
+    return workloads

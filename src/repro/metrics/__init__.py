@@ -1,0 +1,33 @@
+"""Metrics: parameter counts, FLOP (MAC) counts and training-time profiling.
+
+These produce the three efficiency columns of Table II:
+
+* ``# of parameters (M)`` — :func:`repro.metrics.params.count_parameters` on
+  real models, or :func:`repro.metrics.flops.compression_report_from_specs`
+  for the analytical paper-scale accounting.
+* ``FLOPs (G)`` — multiply-accumulate operations of one forward pass summed
+  over all timesteps (the paper's convention), HTT-schedule aware.
+* ``Training time (s)`` — wall-clock of one forward+backward pass on a single
+  batch (:mod:`repro.metrics.profiler`), which is exactly how the paper
+  defines its training-time column.
+"""
+
+from repro.metrics.params import count_parameters, parameter_breakdown
+from repro.metrics.flops import (
+    compression_report_from_specs,
+    dense_model_macs,
+    tt_model_macs,
+    model_flops_table,
+)
+from repro.metrics.profiler import TrainingTimeProfiler, time_training_step
+
+__all__ = [
+    "count_parameters",
+    "parameter_breakdown",
+    "compression_report_from_specs",
+    "dense_model_macs",
+    "tt_model_macs",
+    "model_flops_table",
+    "TrainingTimeProfiler",
+    "time_training_step",
+]

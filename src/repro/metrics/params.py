@@ -1,0 +1,30 @@
+"""Parameter counting utilities."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nn.module import Module
+
+__all__ = ["count_parameters", "parameter_breakdown"]
+
+
+def count_parameters(model: Module, trainable_only: bool = True) -> int:
+    """Total number of scalar parameters in ``model``."""
+    total = 0
+    for param in model.parameters():
+        if trainable_only and not param.requires_grad:
+            continue
+        total += param.size
+    return total
+
+
+def parameter_breakdown(model: Module) -> Dict[str, int]:
+    """Per-top-level-child parameter counts (useful for spotting where capacity sits)."""
+    breakdown: Dict[str, int] = {}
+    for name, child in model.named_children():
+        breakdown[name] = count_parameters(child)
+    own = sum(p.size for p in model._parameters.values())
+    if own:
+        breakdown["<root>"] = own
+    return breakdown

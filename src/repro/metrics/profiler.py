@@ -1,0 +1,94 @@
+"""Training-time measurement.
+
+Table II's "Training time (s)" column is defined as the wall-clock time of
+the forward and backward passes on a *single batch* of inputs.  The profiler
+here measures exactly that on the NumPy engine: the absolute numbers are CPU
+times rather than RTX-3090 times, but the *relative* reductions of STT / PTT
+/ HTT against the dense baseline are the reproduced quantity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.models.base import SpikingModel
+from repro.snn.loss import mean_output_cross_entropy
+
+__all__ = ["TrainingTimeProfiler", "time_training_step"]
+
+
+def time_training_step(
+    model: SpikingModel,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    repeats: int = 3,
+    warmup: int = 1,
+    loss_fn: Optional[Callable] = None,
+) -> float:
+    """Median wall-clock seconds of one forward+backward pass on ``inputs``.
+
+    Parameters
+    ----------
+    model:
+        A spiking model (dense or TT-converted).
+    inputs:
+        ``(T, N, C, H, W)`` batch.
+    labels:
+        ``(N,)`` integer labels.
+    repeats, warmup:
+        Number of timed repetitions (median reported) and discarded warm-up
+        passes.
+    loss_fn:
+        Loss taking ``(outputs_per_timestep, labels)``; defaults to the
+        paper's mean-logit cross entropy.
+    """
+    loss_fn = loss_fn or mean_output_cross_entropy
+    durations: List[float] = []
+    for iteration in range(warmup + repeats):
+        model.zero_grad()
+        start = time.perf_counter()
+        outputs = model.run_timesteps(inputs)
+        loss = loss_fn(outputs, labels)
+        loss.backward()
+        elapsed = time.perf_counter() - start
+        if iteration >= warmup:
+            durations.append(elapsed)
+    return float(np.median(durations))
+
+
+@dataclass
+class TrainingTimeProfiler:
+    """Collects training-step timings for several methods and reports reductions."""
+
+    repeats: int = 3
+    warmup: int = 1
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str, model: SpikingModel, inputs: np.ndarray,
+                labels: np.ndarray, loss_fn: Optional[Callable] = None) -> float:
+        """Time one method and remember the result under ``name``."""
+        duration = time_training_step(model, inputs, labels, repeats=self.repeats,
+                                      warmup=self.warmup, loss_fn=loss_fn)
+        self.timings[name] = duration
+        return duration
+
+    def reduction_vs(self, name: str, baseline: str = "baseline") -> float:
+        """Relative training-time reduction of ``name`` against ``baseline`` (in %)."""
+        if baseline not in self.timings or name not in self.timings:
+            raise KeyError(f"both '{name}' and '{baseline}' must be measured first")
+        base = self.timings[baseline]
+        return 100.0 * (base - self.timings[name]) / base
+
+    def as_table(self, baseline: str = "baseline") -> Dict[str, Dict[str, float]]:
+        """Dictionary of time and percentage reduction per measured method."""
+        table: Dict[str, Dict[str, float]] = {}
+        for name, duration in self.timings.items():
+            entry = {"time_s": duration}
+            if baseline in self.timings and name != baseline:
+                entry["reduction_pct"] = self.reduction_vs(name, baseline)
+            table[name] = entry
+        return table

@@ -1,0 +1,49 @@
+"""Spiking model zoo and model surgery.
+
+* :mod:`repro.models.base` — ``SpikingModel`` base class (timestep loop,
+  state reset, per-timestep logits).
+* :mod:`repro.models.blocks` — spiking convolution blocks and the MS-ResNet
+  basic residual block.
+* :mod:`repro.models.resnet` — spiking ResNet-18/34 (paper's main backbones)
+  and ResNet-20 (tdBN compatibility row).
+* :mod:`repro.models.vgg` — spiking VGG-9 / VGG-11 (TEBN / TET / NDA rows).
+* :mod:`repro.models.builder` — ``convert_to_tt``: replace every decomposable
+  3x3 convolution by an STT / PTT / HTT module (Algorithm 1 lines 1-5).
+* :mod:`repro.models.specs` — analytical per-layer shape specifications of
+  the *paper-scale* architectures, used for exact parameter / FLOP
+  accounting without allocating full-size models.
+"""
+
+from repro.models.base import SpikingModel
+from repro.models.blocks import SpikingConvBlock, MSBasicBlock
+from repro.models.resnet import SpikingResNet, spiking_resnet18, spiking_resnet20, spiking_resnet34
+from repro.models.vgg import SpikingVGG, spiking_vgg9, spiking_vgg11
+from repro.models.builder import convert_to_tt, decomposable_convolutions, count_tt_layers
+from repro.models.specs import (
+    LayerSpec,
+    resnet18_layer_specs,
+    resnet34_layer_specs,
+    vgg_layer_specs,
+    model_layer_specs,
+)
+
+__all__ = [
+    "SpikingModel",
+    "SpikingConvBlock",
+    "MSBasicBlock",
+    "SpikingResNet",
+    "spiking_resnet18",
+    "spiking_resnet34",
+    "spiking_resnet20",
+    "SpikingVGG",
+    "spiking_vgg9",
+    "spiking_vgg11",
+    "convert_to_tt",
+    "decomposable_convolutions",
+    "count_tt_layers",
+    "LayerSpec",
+    "resnet18_layer_specs",
+    "resnet34_layer_specs",
+    "vgg_layer_specs",
+    "model_layer_specs",
+]

@@ -1,0 +1,69 @@
+"""Base class shared by every spiking model in the zoo.
+
+A spiking model processes *one timestep at a time*: ``forward(x_t)`` maps a
+``(N, C, H, W)`` input for timestep ``t`` to ``(N, num_classes)`` logits,
+relying on the stateful LIF layers to carry membrane potentials between
+calls.  :meth:`SpikingModel.run_timesteps` wraps the timestep loop (resetting
+all state first) and returns the list of per-timestep logits, which is what
+the loss functions in :mod:`repro.snn.loss` consume.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nn.module import Module
+from repro.snn.functional import reset_model_state
+
+__all__ = ["SpikingModel"]
+
+
+class SpikingModel(Module):
+    """Common timestep-loop behaviour for spiking networks."""
+
+    def __init__(self, timesteps: int):
+        super().__init__()
+        if timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {timesteps}")
+        self.timesteps = timesteps
+
+    def reset(self) -> None:
+        """Reset all membrane potentials and temporal counters."""
+        reset_model_state(self)
+
+    def run_timesteps(self, inputs: Union[np.ndarray, Tensor]) -> List[Tensor]:
+        """Run the full simulation over a ``(T, N, C, H, W)`` input sequence.
+
+        Static-image datasets pass the output of
+        :class:`~repro.snn.encoding.DirectEncoder` (the same image repeated
+        ``T`` times); event datasets pass genuinely different frames per
+        timestep.  Returns one ``(N, num_classes)`` logits tensor per
+        timestep.
+        """
+        if isinstance(inputs, Tensor):
+            data = inputs.data
+        else:
+            data = np.asarray(inputs, dtype=np.float32)
+        if data.ndim != 5:
+            raise ValueError(f"expected (T, N, C, H, W) input, got shape {data.shape}")
+        if data.shape[0] < self.timesteps:
+            raise ValueError(
+                f"input provides {data.shape[0]} timesteps but the model needs {self.timesteps}"
+            )
+        self.reset()
+        outputs: List[Tensor] = []
+        for t in range(self.timesteps):
+            outputs.append(self.forward(as_tensor(data[t])))
+        return outputs
+
+    def predict(self, inputs: Union[np.ndarray, Tensor]) -> np.ndarray:
+        """Class predictions from time-averaged logits (no gradient tracking)."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            outputs = self.run_timesteps(inputs)
+            mean_logits = sum(o.data for o in outputs) / len(outputs)
+        return np.argmax(mean_logits, axis=1)

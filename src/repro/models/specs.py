@@ -1,0 +1,177 @@
+"""Analytical per-layer specifications of the paper-scale architectures.
+
+Table II's parameter counts and FLOPs are structural quantities; computing
+them does not require instantiating (or training) the full-size networks.
+This module produces, for each paper configuration, an ordered list of
+:class:`LayerSpec` records describing every convolution / linear layer with
+its shapes, stride, spatial resolution and whether it is decomposable.  The
+metrics code (:mod:`repro.metrics.flops`) then combines these specs with TT
+ranks to reproduce the compression ratios.
+
+The spec generators mirror exactly the topology built by
+:mod:`repro.models.resnet` / :mod:`repro.models.vgg` at ``width_scale = 1``,
+which the unit tests cross-check against real model instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "LayerSpec",
+    "resnet18_layer_specs",
+    "resnet34_layer_specs",
+    "resnet20_layer_specs",
+    "vgg_layer_specs",
+    "model_layer_specs",
+]
+
+
+@dataclass
+class LayerSpec:
+    """Shape description of one parameterised layer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable layer name (mirrors the module path).
+    kind:
+        ``"conv"`` or ``"linear"``.
+    in_channels, out_channels:
+        Channel / feature counts.
+    kernel_size:
+        ``(kh, kw)`` for convolutions, ``(1, 1)`` for linear layers.
+    stride:
+        Convolution stride (1 for linear layers).
+    input_hw, output_hw:
+        Spatial resolution before and after the layer (``(1, 1)`` for linear).
+    decomposable:
+        Whether the paper's TT modules replace this layer.
+    """
+
+    name: str
+    kind: str
+    in_channels: int
+    out_channels: int
+    kernel_size: Tuple[int, int]
+    stride: int
+    input_hw: Tuple[int, int]
+    output_hw: Tuple[int, int]
+    decomposable: bool
+
+    @property
+    def params(self) -> int:
+        """Dense trainable parameters of this layer (bias-free convs, biased linear)."""
+        if self.kind == "linear":
+            return self.out_channels * self.in_channels + self.out_channels
+        kh, kw = self.kernel_size
+        return self.out_channels * self.in_channels * kh * kw
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulates for one input at one timestep."""
+        if self.kind == "linear":
+            return self.out_channels * self.in_channels
+        kh, kw = self.kernel_size
+        oh, ow = self.output_hw
+        return self.out_channels * self.in_channels * kh * kw * oh * ow
+
+
+def _conv_spec(name: str, in_c: int, out_c: int, k: int, stride: int,
+               input_hw: Tuple[int, int], decomposable: bool) -> LayerSpec:
+    oh = input_hw[0] // stride
+    ow = input_hw[1] // stride
+    return LayerSpec(name=name, kind="conv", in_channels=in_c, out_channels=out_c,
+                     kernel_size=(k, k), stride=stride, input_hw=input_hw,
+                     output_hw=(oh, ow), decomposable=decomposable)
+
+
+def _resnet_specs(blocks_per_stage: Sequence[int], stage_widths: Sequence[int],
+                  in_channels: int, num_classes: int,
+                  input_hw: Tuple[int, int], name: str) -> List[LayerSpec]:
+    """Generate the layer list of an MS-ResNet (CIFAR-style 3x3 stem, no max-pool)."""
+    specs: List[LayerSpec] = []
+    hw = input_hw
+    current = stage_widths[0]
+    specs.append(_conv_spec(f"{name}.stem_conv", in_channels, current, 3, 1, hw, decomposable=False))
+
+    for stage_index, (depth, width) in enumerate(zip(blocks_per_stage, stage_widths)):
+        stage_stride = 1 if stage_index == 0 else 2
+        for block_index in range(depth):
+            stride = stage_stride if block_index == 0 else 1
+            block_name = f"{name}.stages.{stage_index}.{block_index}"
+            specs.append(_conv_spec(f"{block_name}.conv1", current, width, 3, stride, hw, True))
+            block_hw = (hw[0] // stride, hw[1] // stride)
+            specs.append(_conv_spec(f"{block_name}.conv2", width, width, 3, 1, block_hw, True))
+            if stride != 1 or current != width:
+                specs.append(_conv_spec(f"{block_name}.shortcut", current, width, 1, stride, hw, False))
+            current = width
+            hw = block_hw
+
+    specs.append(LayerSpec(name=f"{name}.classifier", kind="linear", in_channels=current,
+                           out_channels=num_classes, kernel_size=(1, 1), stride=1,
+                           input_hw=(1, 1), output_hw=(1, 1), decomposable=False))
+    return specs
+
+
+def resnet18_layer_specs(num_classes: int = 10, in_channels: int = 3,
+                         input_hw: Tuple[int, int] = (32, 32)) -> List[LayerSpec]:
+    """ResNet-18 at paper scale (CIFAR-10/100: 3x32x32 input, 16 decomposable convs)."""
+    return _resnet_specs([2, 2, 2, 2], [64, 128, 256, 512], in_channels, num_classes,
+                         input_hw, "resnet18")
+
+
+def resnet34_layer_specs(num_classes: int = 101, in_channels: int = 2,
+                         input_hw: Tuple[int, int] = (48, 48)) -> List[LayerSpec]:
+    """ResNet-34 at paper scale (N-Caltech101: 2x48x48 event frames, 32 decomposable convs)."""
+    return _resnet_specs([3, 4, 6, 3], [64, 128, 256, 512], in_channels, num_classes,
+                         input_hw, "resnet34")
+
+
+def resnet20_layer_specs(num_classes: int = 10, in_channels: int = 3,
+                         input_hw: Tuple[int, int] = (32, 32)) -> List[LayerSpec]:
+    """ResNet-20 (tdBN compatibility row): three stages of width 16/32/64."""
+    return _resnet_specs([3, 3, 3], [16, 32, 64], in_channels, num_classes,
+                         input_hw, "resnet20")
+
+
+def vgg_layer_specs(config: Sequence[Union[int, str]], num_classes: int = 10,
+                    in_channels: int = 3, input_hw: Tuple[int, int] = (32, 32),
+                    name: str = "vgg") -> List[LayerSpec]:
+    """Layer specs for a VGG configuration list (ints = conv widths, 'M' = 2x2 max-pool)."""
+    specs: List[LayerSpec] = []
+    hw = input_hw
+    current = in_channels
+    first = True
+    for index, entry in enumerate(config):
+        if entry == "M":
+            hw = (hw[0] // 2, hw[1] // 2)
+            continue
+        width = int(entry)
+        specs.append(_conv_spec(f"{name}.features.{index}.conv", current, width, 3, 1, hw,
+                                decomposable=not first))
+        first = False
+        current = width
+    specs.append(LayerSpec(name=f"{name}.classifier", kind="linear", in_channels=current,
+                           out_channels=num_classes, kernel_size=(1, 1), stride=1,
+                           input_hw=(1, 1), output_hw=(1, 1), decomposable=False))
+    return specs
+
+
+def model_layer_specs(architecture: str, **kwargs) -> List[LayerSpec]:
+    """Dispatch by architecture name (``resnet18``, ``resnet34``, ``resnet20``, ``vgg9``, ``vgg11``)."""
+    from repro.models.vgg import VGG11_CONFIG, VGG9_CONFIG
+
+    key = architecture.lower()
+    if key == "resnet18":
+        return resnet18_layer_specs(**kwargs)
+    if key == "resnet34":
+        return resnet34_layer_specs(**kwargs)
+    if key == "resnet20":
+        return resnet20_layer_specs(**kwargs)
+    if key == "vgg9":
+        return vgg_layer_specs(VGG9_CONFIG, name="vgg9", **kwargs)
+    if key == "vgg11":
+        return vgg_layer_specs(VGG11_CONFIG, name="vgg11", **kwargs)
+    raise KeyError(f"unknown architecture '{architecture}'")

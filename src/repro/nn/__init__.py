@@ -1,0 +1,44 @@
+"""Neural-network layer library (NumPy/autograd backed).
+
+Mirrors the subset of ``torch.nn`` the TT-SNN reproduction needs:
+``Module``/``Parameter`` infrastructure, convolutional / linear / batch-norm
+layers, pooling, containers and weight initialisers.  Spiking-specific layers
+(LIF neurons, temporal batch norms) live in :mod:`repro.snn`; the tensor-train
+convolution variants (STT / PTT / HTT) live in :mod:`repro.tt.layers`.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn import init
+from repro.nn import functional
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "AdaptiveAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ReLU",
+    "Sequential",
+    "init",
+    "functional",
+]

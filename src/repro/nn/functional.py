@@ -1,0 +1,39 @@
+"""Re-export of the functional API under the conventional ``nn.functional`` path."""
+
+from repro.autograd.functional import (
+    adaptive_avg_pool2d,
+    avg_pool2d,
+    cross_entropy,
+    dropout,
+    linear,
+    log_softmax,
+    max_pool2d,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    pad2d,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.autograd.conv import conv2d
+
+__all__ = [
+    "adaptive_avg_pool2d",
+    "avg_pool2d",
+    "conv2d",
+    "cross_entropy",
+    "dropout",
+    "linear",
+    "log_softmax",
+    "max_pool2d",
+    "mse_loss",
+    "nll_loss",
+    "one_hot",
+    "pad2d",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+]

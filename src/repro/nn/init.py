@@ -1,0 +1,102 @@
+"""Weight initialisers (Kaiming / Xavier / constant) used by the layer library.
+
+The TT-SNN paper uses standard PyTorch defaults for its MS-ResNet and VGG
+baselines (Kaiming-normal convolution weights, unit batch-norm gains); these
+helpers reproduce those defaults and additionally provide the scaled
+initialisation used when TT cores are created from scratch rather than by
+decomposing a pre-trained dense kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "calculate_fan_in_fan_out",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "uniform",
+    "normal",
+    "zeros",
+    "ones",
+    "default_rng",
+]
+
+_GLOBAL_SEED = 1234
+
+
+def default_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """Return a NumPy random generator (fixed default seed for reproducibility)."""
+    return np.random.default_rng(_GLOBAL_SEED if seed is None else seed)
+
+
+def calculate_fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Fan-in / fan-out of a weight tensor (PyTorch convention).
+
+    For convolution weights ``(out_channels, in_channels, kh, kw)`` the
+    receptive-field size multiplies both fans; for linear weights
+    ``(out_features, in_features)`` the fans are the two dimensions.
+    """
+    if len(shape) < 2:
+        raise ValueError("fan in/out undefined for tensors with fewer than 2 dims")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: Optional[np.random.Generator] = None, mode: str = "fan_out") -> np.ndarray:
+    """He-normal initialisation (gain for ReLU-family nonlinearities)."""
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan_in_fan_out(shape)
+    fan = fan_out if mode == "fan_out" else fan_in
+    std = math.sqrt(2.0 / fan)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: Optional[np.random.Generator] = None, a: float = math.sqrt(5)) -> np.ndarray:
+    """He-uniform initialisation (PyTorch's default for Conv2d / Linear)."""
+    rng = rng or default_rng()
+    fan_in, _ = calculate_fan_in_fan_out(shape)
+    gain = math.sqrt(2.0 / (1 + a ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-normal initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan_in_fan_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    rng = rng or default_rng()
+    fan_in, fan_out = calculate_fan_in_fan_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform(shape, low: float, high: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(shape, mean: float = 0.0, std: float = 1.0, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    rng = rng or default_rng()
+    return rng.normal(mean, std, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,275 @@
+"""Standard layers: convolution, linear, batch norm, pooling and containers.
+
+These layers deliberately follow the PyTorch constructor signatures used in
+the TT-SNN paper's codebase (``Conv2d(in, out, kernel_size, stride, padding,
+bias)`` etc.) so the model definitions in :mod:`repro.models` read like the
+original architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.conv import conv2d, _pair, conv2d_output_shape
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "AvgPool2d",
+    "MaxPool2d",
+    "AdaptiveAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "ReLU",
+    "Sequential",
+]
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """2-D convolution layer (supports asymmetric kernels, e.g. 3x1 / 1x3).
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Int or ``(kh, kw)`` pair.  TT sub-convolutions use ``(1, 1)``,
+        ``(3, 1)`` and ``(1, 3)``.
+    stride, padding:
+        Int or pair.  ``padding="same"`` selects ``(kh // 2, kw // 2)``.
+    bias:
+        Whether to add a learnable bias (the paper's convolutions are
+        bias-free because batch norm follows).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntOrPair,
+        stride: IntOrPair = 1,
+        padding: Union[IntOrPair, str] = 0,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("channel counts must be positive")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        if padding == "same":
+            padding = (self.kernel_size[0] // 2, self.kernel_size[1] // 2)
+        self.padding = _pair(padding)
+
+        weight_shape = (out_channels, in_channels) + self.kernel_size
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng=rng))
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
+        """Spatial output size for an ``(H, W)`` input."""
+        return conv2d_output_shape(input_hw, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None}"
+        )
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}, bias={self.bias is not None}"
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over ``(N, C, H, W)`` activations.
+
+    Tracks running statistics with momentum (PyTorch convention: the running
+    mean is updated as ``(1 - momentum) * running + momentum * batch``).  The
+    spiking-specific variants (tdBN / TEBN) in :mod:`repro.snn.norm` subclass
+    or wrap this layer.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1,
+                 affine: bool = True, gamma_init: float = 1.0):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(np.full((num_features,), gamma_init, dtype=np.float32))
+            self.bias = Parameter(init.zeros((num_features,)))
+        else:
+            self.weight = None
+            self.bias = None
+        self.register_buffer("running_mean", Tensor(np.zeros(num_features, dtype=np.float32)))
+        self.register_buffer("running_var", Tensor(np.ones(num_features, dtype=np.float32)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got shape {x.shape}")
+        axes = (0, 2, 3)
+        if self.training:
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self.running_mean.data[...] = (
+                (1 - self.momentum) * self.running_mean.data + self.momentum * batch_mean
+            )
+            self.running_var.data[...] = (
+                (1 - self.momentum) * self.running_var.data + self.momentum * batch_var
+            )
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+        else:
+            mean = Tensor(self.running_mean.data.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.data.reshape(1, -1, 1, 1))
+        normalised = (x - mean) / (var + self.eps).sqrt()
+        if self.affine:
+            gamma = self.weight.reshape(1, -1, 1, 1)
+            beta = self.bias.reshape(1, -1, 1, 1)
+            normalised = normalised * gamma + beta
+        return normalised
+
+    def extra_repr(self) -> str:
+        return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
+
+
+class AvgPool2d(Module):
+    """Average pooling layer."""
+
+    def __init__(self, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None, padding: IntOrPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None, padding: IntOrPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AdaptiveAvgPool2d(Module):
+    """Adaptive average pooling to a fixed output size (typically 1x1)."""
+
+    def __init__(self, output_size: IntOrPair = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+
+class Dropout(Module):
+    """Inverted dropout (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.p = p
+        self._rng = rng or init.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, rng=self._rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    """No-op layer (used for non-downsampling residual shortcuts)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class ReLU(Module):
+    """ReLU activation (kept for ANN baselines; SNN paths use LIF neurons)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        self._order = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._order.append(str(index))
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x

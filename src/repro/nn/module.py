@@ -1,0 +1,220 @@
+"""``Module`` / ``Parameter`` infrastructure.
+
+Provides hierarchical parameter registration, train/eval mode propagation,
+state-dict export/import and named traversal — the minimum surface area the
+model zoo (:mod:`repro.models`), the TT layers (:mod:`repro.tt.layers`) and
+the trainer (:mod:`repro.training`) rely on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as a trainable leaf of a module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: str = ""):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter`, :class:`Tensor` buffers (via
+    :meth:`register_buffer`) and child :class:`Module` instances as plain
+    attributes; registration happens automatically through ``__setattr__``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute registration ------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        else:
+            # A plain attribute; remove any stale registration under this name.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: Optional[Tensor]) -> None:
+        """Register a non-trainable tensor that is part of the module state."""
+        if value is not None and not isinstance(value, Tensor):
+            value = Tensor(np.asarray(value))
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under ``name`` (used by containers)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters in this module and its children."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, buf in self._buffers.items():
+            if buf is not None:
+                yield (f"{prefix}{name}", buf)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    # -- train/eval --------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set the module (and all children) into training or evaluation mode."""
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # -- gradients ---------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every parameter."""
+        for param in self.parameters():
+            param.grad = None
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of scalar parameters."""
+        total = 0
+        for param in self.parameters():
+            if trainable_only and not param.requires_grad:
+                continue
+            total += param.size
+        return total
+
+    # -- state dict ----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter/buffer names to array copies."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter/buffer values from a mapping produced by :meth:`state_dict`."""
+        own: Dict[str, Tensor] = dict(self.named_parameters())
+        own.update(dict(self.named_buffers()))
+        missing = [k for k in own if k not in state]
+        unexpected = [k for k in state if k not in own]
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={unexpected}")
+        for name, value in state.items():
+            if name not in own:
+                continue
+            target = own[name]
+            value = np.asarray(value, dtype=target.data.dtype)
+            if value.shape != target.data.shape:
+                raise ValueError(
+                    f"shape mismatch for '{name}': stored {value.shape}, module {target.data.shape}"
+                )
+            target.data[...] = value
+
+    # -- call --------------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- introspection -------------------------------------------------------------
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lines: List[str] = []
+        extra = self.extra_repr()
+        header = f"{self.__class__.__name__}({extra})" if extra else f"{self.__class__.__name__}("
+        if not self._modules:
+            return header if extra else f"{self.__class__.__name__}()"
+        lines.append(f"{self.__class__.__name__}(")
+        for name, child in self._modules.items():
+            child_repr = repr(child).split("\n")
+            lines.append(f"  ({name}): {child_repr[0]}")
+            lines.extend(f"  {line}" for line in child_repr[1:])
+        lines.append(")")
+        return "\n".join(lines)
+
+
+class ModuleList(Module):
+    """Hold a list of child modules, registering each for parameter traversal."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        index = len(self._list)
+        self._list.append(module)
+        self.add_module(str(index), module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not callable
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

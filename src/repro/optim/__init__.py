@@ -1,0 +1,13 @@
+"""Optimisers and learning-rate schedulers.
+
+The TT-SNN paper trains every model with SGD (momentum 0.9, weight decay 1e-4)
+and a cosine-annealing schedule starting from learning rate 0.1; those are the
+defaults exposed here.  Adam is included for the synthetic-data examples where
+it converges faster at laptop scale.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.scheduler import CosineAnnealingLR, LambdaLR, StepLR
+
+__all__ = ["SGD", "Adam", "CosineAnnealingLR", "StepLR", "LambdaLR"]

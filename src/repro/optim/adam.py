@@ -1,0 +1,61 @@
+"""Adam optimiser (Kingma & Ba, 2015).
+
+Not used in the paper's main experiments (those use SGD) but provided for the
+synthetic-data examples and ablations where faster convergence on tiny models
+keeps the examples snappy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.params: List[Parameter] = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad * grad
+            m_hat = self._m[index] / bias1
+            v_hat = self._v[index] / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,72 @@
+"""Learning-rate schedulers.
+
+The paper uses cosine annealing over 100 epochs from an initial learning rate
+of 0.1; :class:`CosineAnnealingLR` reproduces the PyTorch formula.  Step and
+lambda schedulers are provided for ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["CosineAnnealingLR", "StepLR", "LambdaLR"]
+
+
+class _Scheduler:
+    """Shared bookkeeping: remembers the base LR and the epoch counter."""
+
+    def __init__(self, optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate to the optimiser."""
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+class StepLR(_Scheduler):
+    """Multiply the LR by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class LambdaLR(_Scheduler):
+    """Scale the base LR by an arbitrary function of the epoch index."""
+
+    def __init__(self, optimizer, lr_lambda: Callable[[int], float]):
+        super().__init__(optimizer)
+        self.lr_lambda = lr_lambda
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.lr_lambda(self.last_epoch)

@@ -1,0 +1,91 @@
+"""Neuromorphic Data Augmentation (NDA, Li et al., ECCV 2022).
+
+NDA augments event-frame sequences with geometry-preserving transforms that
+are applied *consistently across all timesteps* of a sample: horizontal flip,
+rolling (translation), rotation by multiples of small angles (implemented as
+shear-free integer rolls for speed), cutout and drop-by-area.  Needed for the
+Table III "NDA" row (VGG11 on DVS Gesture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["NeuromorphicAugment", "random_flip", "random_roll", "random_cutout", "random_event_drop"]
+
+
+def random_flip(frames: np.ndarray, rng: np.random.Generator, probability: float = 0.5) -> np.ndarray:
+    """Horizontally flip all timesteps of a sample with the given probability."""
+    if rng.random() < probability:
+        return frames[..., ::-1].copy()
+    return frames
+
+
+def random_roll(frames: np.ndarray, rng: np.random.Generator, max_shift: int = 4) -> np.ndarray:
+    """Translate the whole sequence by a random integer offset (wrap-around roll)."""
+    if max_shift <= 0:
+        return frames
+    shift_h = int(rng.integers(-max_shift, max_shift + 1))
+    shift_w = int(rng.integers(-max_shift, max_shift + 1))
+    return np.roll(frames, shift=(shift_h, shift_w), axis=(-2, -1))
+
+
+def random_cutout(frames: np.ndarray, rng: np.random.Generator, max_fraction: float = 0.25) -> np.ndarray:
+    """Zero a random square patch, identical across timesteps."""
+    h, w = frames.shape[-2], frames.shape[-1]
+    size = int(max_fraction * min(h, w))
+    if size < 1:
+        return frames
+    top = int(rng.integers(0, h - size + 1))
+    left = int(rng.integers(0, w - size + 1))
+    out = frames.copy()
+    out[..., top:top + size, left:left + size] = 0.0
+    return out
+
+
+def random_event_drop(frames: np.ndarray, rng: np.random.Generator, max_drop: float = 0.2) -> np.ndarray:
+    """Randomly drop a fraction of events (multiplicative Bernoulli mask)."""
+    drop = rng.random() * max_drop
+    if drop <= 0:
+        return frames
+    mask = (rng.random(frames.shape) >= drop).astype(frames.dtype)
+    return frames * mask
+
+
+@dataclass
+class NeuromorphicAugment:
+    """Composable NDA policy over event-frame batches.
+
+    Call with an array shaped ``(T, N, C, H, W)`` (or ``(T, C, H, W)`` for a
+    single sample); each *sample* receives an independently drawn transform
+    that is shared across its timesteps, matching the NDA paper.
+    """
+
+    flip_probability: float = 0.5
+    max_shift: int = 4
+    cutout_fraction: float = 0.25
+    event_drop: float = 0.1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        frames = np.asarray(frames, dtype=np.float32)
+        single = frames.ndim == 4
+        if single:
+            frames = frames[:, None]
+        if frames.ndim != 5:
+            raise ValueError(f"expected (T, N, C, H, W) event frames, got {frames.shape}")
+        out = frames.copy()
+        for sample in range(frames.shape[1]):
+            view = out[:, sample]
+            view = random_flip(view, self._rng, self.flip_probability)
+            view = random_roll(view, self._rng, self.max_shift)
+            view = random_cutout(view, self._rng, self.cutout_fraction)
+            view = random_event_drop(view, self._rng, self.event_drop)
+            out[:, sample] = view
+        return out[:, 0] if single else out

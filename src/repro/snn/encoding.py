@@ -1,0 +1,95 @@
+"""Input encoders: static pixels or event frames -> per-timestep SNN inputs.
+
+The paper uses *direct coding* (Wu et al., 2019) for static CIFAR images: the
+float image is fed to the first (non-decomposed) convolution at every
+timestep, and that layer's LIF neurons produce the first spike trains.  For
+dynamic datasets (N-Caltech101, DVS Gesture) the input already is a sequence
+of event frames, one per timestep, so the encoder simply validates and
+forwards them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+__all__ = ["DirectEncoder", "RepeatEncoder", "PoissonEncoder", "EventFrameEncoder"]
+
+
+class DirectEncoder:
+    """Direct coding: repeat the analog image across ``timesteps``.
+
+    Output shape is ``(T, N, C, H, W)``.  The conversion to spikes happens in
+    the first convolution + LIF stage of the network (the paper's "direct
+    coding" scheme), so the encoder itself performs no binarisation.
+    """
+
+    def __init__(self, timesteps: int):
+        if timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {timesteps}")
+        self.timesteps = timesteps
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) images, got shape {images.shape}")
+        return np.broadcast_to(images, (self.timesteps,) + images.shape).copy()
+
+
+# Direct coding is "repeat the image T times"; keep an explicit alias so model
+# code can express intent (RepeatEncoder) or match the paper's wording
+# (DirectEncoder) interchangeably.
+RepeatEncoder = DirectEncoder
+
+
+class PoissonEncoder:
+    """Poisson rate coding: pixel intensity -> Bernoulli spike probability.
+
+    Provided for completeness / ablations; the paper itself uses direct
+    coding, which trains better at small timestep counts.
+    """
+
+    def __init__(self, timesteps: int, gain: float = 1.0, seed: Optional[int] = None):
+        if timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {timesteps}")
+        self.timesteps = timesteps
+        self.gain = gain
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) images, got shape {images.shape}")
+        probability = np.clip(images * self.gain, 0.0, 1.0)
+        draws = self._rng.random((self.timesteps,) + images.shape)
+        return (draws < probability).astype(np.float32)
+
+
+class EventFrameEncoder:
+    """Pass-through encoder for event-camera data already shaped ``(T, N, C, H, W)``.
+
+    Validates the timestep count and optionally truncates / tiles the
+    sequence so that datasets recorded with more frames than the training
+    timestep count can still be used.
+    """
+
+    def __init__(self, timesteps: int):
+        if timesteps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {timesteps}")
+        self.timesteps = timesteps
+
+    def __call__(self, frames: np.ndarray) -> np.ndarray:
+        frames = np.asarray(frames, dtype=np.float32)
+        if frames.ndim != 5:
+            raise ValueError(f"expected (T, N, C, H, W) event frames, got shape {frames.shape}")
+        available = frames.shape[0]
+        if available == self.timesteps:
+            return frames
+        if available > self.timesteps:
+            return frames[: self.timesteps]
+        # Tile the last frame to pad short recordings.
+        pad = np.repeat(frames[-1:], self.timesteps - available, axis=0)
+        return np.concatenate([frames, pad], axis=0)

@@ -1,0 +1,62 @@
+"""Spike-train utilities shared by training, metrics and the hardware model."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.snn.neurons import LIFNeuron
+
+__all__ = [
+    "reset_model_state",
+    "firing_rate",
+    "spike_sparsity",
+    "collect_lif_layers",
+    "spike_count",
+]
+
+
+def reset_model_state(model: Module) -> None:
+    """Reset the membrane potential of every LIF layer inside ``model``.
+
+    Must be called before presenting a new input sequence; the trainer and
+    all example scripts do this automatically.
+    """
+    for module in model.modules():
+        if isinstance(module, LIFNeuron):
+            module.reset_state()
+        # Temporal norm layers track a timestep index that also needs resetting.
+        if hasattr(module, "reset_time") and callable(module.reset_time):
+            module.reset_time()
+
+
+def collect_lif_layers(model: Module) -> List[LIFNeuron]:
+    """Return all LIF layers of a model in traversal order."""
+    return [m for m in model.modules() if isinstance(m, LIFNeuron)]
+
+
+def firing_rate(spikes: Tensor) -> float:
+    """Fraction of active (non-zero) entries in a spike tensor."""
+    data = spikes.data if isinstance(spikes, Tensor) else np.asarray(spikes)
+    if data.size == 0:
+        return 0.0
+    return float((data != 0).mean())
+
+
+def spike_sparsity(spikes: Tensor) -> float:
+    """Fraction of *zero* entries — the quantity SNN accelerators exploit."""
+    return 1.0 - firing_rate(spikes)
+
+
+def spike_count(spikes: Tensor) -> int:
+    """Total number of spikes in a tensor."""
+    data = spikes.data if isinstance(spikes, Tensor) else np.asarray(spikes)
+    return int((data != 0).sum())
+
+
+def average_firing_rates(spike_tensors: Iterable[Tensor]) -> Dict[int, float]:
+    """Firing rate per layer index for a sequence of recorded spike tensors."""
+    return {index: firing_rate(s) for index, s in enumerate(spike_tensors)}

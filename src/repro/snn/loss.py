@@ -1,0 +1,75 @@
+"""Loss functions for BPTT-trained SNNs.
+
+* :func:`mean_output_cross_entropy` — the paper's training objective
+  (Algorithm 1 line 16): cross entropy of the *summed/averaged* output logits
+  over timesteps.
+* :class:`TETLoss` — Temporal Efficient Training (Deng et al., ICLR 2022):
+  the per-timestep cross entropy is averaged and blended with an MSE
+  regulariser toward a constant target logit, re-weighting gradients across
+  time.  Needed for the Table III "TET" row.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+
+__all__ = ["mean_output_cross_entropy", "TETLoss"]
+
+
+def mean_output_cross_entropy(outputs_per_timestep: Sequence[Tensor], labels: np.ndarray) -> Tensor:
+    """Cross entropy of the time-averaged logits (the paper's objective).
+
+    Parameters
+    ----------
+    outputs_per_timestep:
+        List of ``(N, num_classes)`` logit tensors, one per timestep.
+    labels:
+        Integer class labels ``(N,)``.
+    """
+    if not outputs_per_timestep:
+        raise ValueError("need at least one timestep of outputs")
+    total = outputs_per_timestep[0]
+    for out in outputs_per_timestep[1:]:
+        total = total + out
+    mean_logits = total * (1.0 / len(outputs_per_timestep))
+    return F.cross_entropy(mean_logits, labels)
+
+
+class TETLoss:
+    """Temporal Efficient Training loss.
+
+    ``L = (1 - lambda) * mean_t CE(o_t, y) + lambda * mean_t MSE(o_t, phi)``
+
+    where ``phi`` is a constant target membrane value (default the firing
+    threshold).  Setting ``lambda = 0`` recovers plain per-timestep cross
+    entropy averaging.
+    """
+
+    def __init__(self, lamb: float = 0.05, target_value: float = 0.5):
+        if not 0.0 <= lamb <= 1.0:
+            raise ValueError(f"lambda must lie in [0, 1], got {lamb}")
+        self.lamb = lamb
+        self.target_value = target_value
+
+    def __call__(self, outputs_per_timestep: Sequence[Tensor], labels: np.ndarray) -> Tensor:
+        if not outputs_per_timestep:
+            raise ValueError("need at least one timestep of outputs")
+        ce_terms: List[Tensor] = [F.cross_entropy(out, labels) for out in outputs_per_timestep]
+        ce = ce_terms[0]
+        for term in ce_terms[1:]:
+            ce = ce + term
+        ce = ce * (1.0 / len(ce_terms))
+        if self.lamb == 0.0:
+            return ce
+        mse = None
+        for out in outputs_per_timestep:
+            target = Tensor(np.full_like(out.data, self.target_value))
+            term = F.mse_loss(out, target)
+            mse = term if mse is None else mse + term
+        mse = mse * (1.0 / len(outputs_per_timestep))
+        return ce * (1.0 - self.lamb) + mse * self.lamb

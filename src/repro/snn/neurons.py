@@ -1,0 +1,209 @@
+"""Leaky-Integrate-and-Fire neurons with surrogate-gradient spike functions.
+
+The paper uses the iterative LIF model of Wu et al. (STBP), Eq. (1):
+
+.. math::
+
+    u^{l,t}_i = \\tau_m\\, u^{l,t-1}_i (1 - s^{l,t-1}_i) + \\sum_j w_{ij} x^{l-1,t}_j,
+    \\qquad s^{l,t}_i = H(u^{l,t}_i - V_{th})
+
+with a hard reset to zero after a spike, leak factor ``tau_m = 0.25`` and
+threshold ``V_th = 0.5`` (the paper's settings).  The Heaviside function is
+non-differentiable, so backpropagation-through-time uses a *surrogate
+gradient*: the backward pass replaces ``dH/du`` with a smooth window around
+the threshold.  Three standard surrogates are provided; the rectangular
+window (STBP's choice) is the default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Function, Tensor, as_tensor
+from repro.nn.module import Module
+
+__all__ = [
+    "SurrogateRectangular",
+    "SurrogateArctan",
+    "SurrogateSigmoid",
+    "spike_function",
+    "LIFState",
+    "LIFNeuron",
+]
+
+
+class _SurrogateSpike(Function):
+    """Heaviside forward / surrogate-derivative backward.
+
+    ``forward`` receives the membrane potential minus threshold and emits a
+    binary spike map.  ``backward`` multiplies the upstream gradient by the
+    chosen surrogate derivative evaluated at the same pre-activation.
+    """
+
+    def __init__(self, surrogate: "SurrogateBase"):
+        self.surrogate = surrogate
+        self._pre: Optional[np.ndarray] = None
+
+    def forward(self, pre_activation: np.ndarray) -> np.ndarray:
+        self._pre = pre_activation
+        return (pre_activation >= 0.0).astype(pre_activation.dtype)
+
+    def backward(self, grad_output: np.ndarray):
+        return (grad_output * self.surrogate.derivative(self._pre),)
+
+
+class SurrogateBase:
+    """Interface for surrogate gradient shapes."""
+
+    name = "base"
+
+    def derivative(self, pre_activation: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SurrogateRectangular(SurrogateBase):
+    """Rectangular window surrogate (STBP): ``1/width`` inside ``|u - V_th| < width/2``."""
+
+    name = "rectangular"
+
+    def __init__(self, width: float = 1.0):
+        if width <= 0:
+            raise ValueError(f"surrogate width must be positive, got {width}")
+        self.width = width
+
+    def derivative(self, pre_activation: np.ndarray) -> np.ndarray:
+        return (np.abs(pre_activation) < (self.width / 2.0)).astype(pre_activation.dtype) / self.width
+
+
+class SurrogateArctan(SurrogateBase):
+    """Arctan surrogate: ``alpha / (2 * (1 + (pi/2 * alpha * u)^2))``."""
+
+    name = "arctan"
+
+    def __init__(self, alpha: float = 2.0):
+        self.alpha = alpha
+
+    def derivative(self, pre_activation: np.ndarray) -> np.ndarray:
+        scaled = (math.pi / 2.0) * self.alpha * pre_activation
+        return (self.alpha / 2.0) / (1.0 + scaled * scaled)
+
+
+class SurrogateSigmoid(SurrogateBase):
+    """Sigmoid surrogate: derivative of a steep logistic centred at threshold."""
+
+    name = "sigmoid"
+
+    def __init__(self, slope: float = 4.0):
+        self.slope = slope
+
+    def derivative(self, pre_activation: np.ndarray) -> np.ndarray:
+        sig = 1.0 / (1.0 + np.exp(-self.slope * pre_activation))
+        return self.slope * sig * (1.0 - sig)
+
+
+_SURROGATES = {
+    "rectangular": SurrogateRectangular,
+    "arctan": SurrogateArctan,
+    "sigmoid": SurrogateSigmoid,
+}
+
+
+def spike_function(pre_activation: Tensor, surrogate: Optional[SurrogateBase] = None) -> Tensor:
+    """Emit binary spikes from ``membrane - threshold`` with a surrogate gradient."""
+    surrogate = surrogate or SurrogateRectangular()
+    return _SurrogateSpike.apply(as_tensor(pre_activation), surrogate=surrogate)
+
+
+@dataclass
+class LIFState:
+    """Membrane state carried between timesteps of one LIF layer."""
+
+    membrane: Optional[Tensor] = None
+
+    def reset(self) -> None:
+        self.membrane = None
+
+
+class LIFNeuron(Module):
+    """Iterative LIF neuron layer (Eq. 1 of the paper).
+
+    Parameters
+    ----------
+    tau_m:
+        Membrane leak factor in ``(0, 1]``; the paper uses 0.25.
+    v_threshold:
+        Firing threshold; the paper uses 0.5.
+    surrogate:
+        Name of the surrogate gradient (``"rectangular"``, ``"arctan"`` or
+        ``"sigmoid"``) or a :class:`SurrogateBase` instance.
+    hard_reset:
+        When ``True`` (paper setting) the membrane is reset to zero after a
+        spike; otherwise the threshold is subtracted (soft reset).
+    detach_reset:
+        Detach the reset term from the graph (common BPTT stabilisation).
+
+    The layer is *stateful*: call :meth:`reset_state` (or
+    :func:`repro.snn.functional.reset_model_state`) before each new input
+    sequence.
+    """
+
+    def __init__(
+        self,
+        tau_m: float = 0.25,
+        v_threshold: float = 0.5,
+        surrogate="rectangular",
+        hard_reset: bool = True,
+        detach_reset: bool = True,
+    ):
+        super().__init__()
+        if not 0.0 < tau_m <= 1.0:
+            raise ValueError(f"tau_m must lie in (0, 1], got {tau_m}")
+        if v_threshold <= 0:
+            raise ValueError(f"v_threshold must be positive, got {v_threshold}")
+        self.tau_m = tau_m
+        self.v_threshold = v_threshold
+        if isinstance(surrogate, str):
+            if surrogate not in _SURROGATES:
+                raise ValueError(f"unknown surrogate '{surrogate}'; options: {sorted(_SURROGATES)}")
+            surrogate = _SURROGATES[surrogate]()
+        self.surrogate: SurrogateBase = surrogate
+        self.hard_reset = hard_reset
+        self.detach_reset = detach_reset
+        self.state = LIFState()
+
+    def reset_state(self) -> None:
+        """Forget the membrane potential (call between input sequences)."""
+        self.state.reset()
+
+    def forward(self, current: Tensor) -> Tensor:
+        """Integrate one timestep of input current and emit spikes."""
+        current = as_tensor(current)
+        if self.state.membrane is None:
+            membrane = current
+        else:
+            prev = self.state.membrane
+            membrane = prev * self.tau_m + current
+        spikes = spike_function(membrane - self.v_threshold, self.surrogate)
+
+        reset_signal = spikes.detach() if self.detach_reset else spikes
+        if self.hard_reset:
+            next_membrane = membrane * (1.0 - reset_signal)
+        else:
+            next_membrane = membrane - reset_signal * self.v_threshold
+        self.state.membrane = next_membrane
+        return spikes
+
+    @property
+    def membrane_potential(self) -> Optional[Tensor]:
+        """Current membrane potential (``None`` before the first timestep)."""
+        return self.state.membrane
+
+    def extra_repr(self) -> str:
+        return (
+            f"tau_m={self.tau_m}, v_threshold={self.v_threshold}, "
+            f"surrogate={self.surrogate.name}, hard_reset={self.hard_reset}"
+        )

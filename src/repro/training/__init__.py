@@ -1,0 +1,14 @@
+"""Training: BPTT trainer, Algorithm-1 pipeline and experiment configurations."""
+
+from repro.training.config import TrainingConfig
+from repro.training.trainer import BPTTTrainer, EpochResult, evaluate_accuracy
+from repro.training.pipeline import TTSNNPipeline, PipelineResult
+
+__all__ = [
+    "TrainingConfig",
+    "BPTTTrainer",
+    "EpochResult",
+    "evaluate_accuracy",
+    "TTSNNPipeline",
+    "PipelineResult",
+]

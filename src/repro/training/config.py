@@ -1,0 +1,61 @@
+"""Training configuration dataclass (paper defaults in the docstrings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+__all__ = ["TrainingConfig"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of one training run.
+
+    The defaults follow Sec. V-A of the paper: SGD with momentum 0.9, weight
+    decay 1e-4, initial learning rate 0.1 with cosine annealing, LIF leak
+    0.25 and threshold 0.5, direct coding.  Laptop-scale synthetic runs use
+    far fewer epochs and smaller batches; the paper-scale values are kept as
+    the documented defaults.
+    """
+
+    #: simulation timesteps (4 for CIFAR, 6 for N-Caltech101 in the paper)
+    timesteps: int = 4
+    #: number of passes over the training set (paper: 100)
+    epochs: int = 100
+    #: mini-batch size (paper: 100 for CIFAR, 50 for N-Caltech101)
+    batch_size: int = 100
+    #: SGD settings
+    learning_rate: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    #: cosine-annealing horizon; defaults to ``epochs``
+    lr_schedule_t_max: Optional[int] = None
+    #: LIF neuron parameters
+    tau_m: float = 0.25
+    v_threshold: float = 0.5
+    surrogate: str = "rectangular"
+    #: TT settings
+    tt_variant: Optional[str] = None            # None = dense baseline
+    tt_rank: Union[int, str, Sequence[int]] = "vbmf"
+    htt_schedule: Optional[str] = None           # e.g. "FFHH"
+    #: optimiser choice ("sgd" or "adam"; paper uses SGD)
+    optimizer: str = "sgd"
+    #: random seed for weight init / shuffling
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timesteps < 1:
+            raise ValueError("timesteps must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.tt_variant is not None and self.tt_variant.lower() not in ("stt", "ptt", "htt"):
+            raise ValueError(f"unknown tt_variant '{self.tt_variant}'")
+        if self.optimizer.lower() not in ("sgd", "adam"):
+            raise ValueError(f"unknown optimizer '{self.optimizer}'")
+
+    @property
+    def schedule_horizon(self) -> int:
+        return self.lr_schedule_t_max if self.lr_schedule_t_max is not None else self.epochs

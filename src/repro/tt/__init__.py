@@ -1,0 +1,73 @@
+"""Tensor-Train decomposition core — the paper's primary contribution.
+
+Modules
+-------
+:mod:`repro.tt.decomposition`
+    Circular weight permutation (Eq. 3), TT-SVD of a convolution kernel into
+    the four TT-cores of Eq. (4) and the dense reconstruction (contraction).
+:mod:`repro.tt.vbmf`
+    The global analytic solution of Empirical Variational Bayes Matrix
+    Factorization (Nakajima et al., 2013) used to pick near-optimal TT-ranks.
+:mod:`repro.tt.ranks`
+    Rank-selection helpers plus the exact per-layer ranks reported in the
+    paper for ResNet-18 and ResNet-34.
+:mod:`repro.tt.layers`
+    The three TT convolution modules: sequential (STT), parallel (PTT,
+    proposed) and half (HTT, proposed).
+:mod:`repro.tt.reconstruct`
+    Post-training merge of the TT cores back into a dense kernel (Eq. 6) so
+    that inference runs as an ordinary spike-driven convolution.
+:mod:`repro.tt.compression`
+    Analytical parameter / FLOP accounting used by the Table II compression
+    ratios.
+"""
+
+from repro.tt.decomposition import (
+    TTCores,
+    circular_permute_weight,
+    inverse_circular_permute_weight,
+    tt_decompose_conv,
+    tt_cores_to_dense,
+)
+from repro.tt.vbmf import evbmf, estimate_rank
+from repro.tt.ranks import (
+    PAPER_RANKS_RESNET18,
+    PAPER_RANKS_RESNET34,
+    estimate_tt_rank_for_weight,
+    rank_for_layer,
+)
+from repro.tt.layers import HTTConv2d, PTTConv2d, STTConv2d, TTConv2dBase
+from repro.tt.reconstruct import merge_tt_layer, reconstruct_dense_weight, merge_model
+from repro.tt.compression import (
+    dense_conv_params,
+    dense_conv_macs,
+    tt_conv_params,
+    tt_conv_macs,
+    CompressionReport,
+)
+
+__all__ = [
+    "TTCores",
+    "circular_permute_weight",
+    "inverse_circular_permute_weight",
+    "tt_decompose_conv",
+    "tt_cores_to_dense",
+    "evbmf",
+    "estimate_rank",
+    "PAPER_RANKS_RESNET18",
+    "PAPER_RANKS_RESNET34",
+    "estimate_tt_rank_for_weight",
+    "rank_for_layer",
+    "STTConv2d",
+    "PTTConv2d",
+    "HTTConv2d",
+    "TTConv2dBase",
+    "merge_tt_layer",
+    "reconstruct_dense_weight",
+    "merge_model",
+    "dense_conv_params",
+    "dense_conv_macs",
+    "tt_conv_params",
+    "tt_conv_macs",
+    "CompressionReport",
+]

@@ -1,0 +1,228 @@
+"""TT-SVD decomposition of convolution kernels (Eqs. 2-4 of the paper).
+
+A dense convolution weight ``W`` of shape ``(O, I, K, K)`` (PyTorch layout)
+is first *circularly permuted* to ``(I, K, K, O)`` (Eq. 3, following Gabor &
+Zdunek) and then decomposed into four TT-cores
+
+.. math::
+
+    W_{I,K_1,K_2,O} = \\sum_{r_1 r_2 r_3}
+        w^{(1)}_{I, r_1}\\, w^{(2)}_{r_1, K_1, r_2}\\,
+        w^{(3)}_{r_2, K_2, r_3}\\, w^{(4)}_{r_3, O}
+
+via successive truncated SVDs (the classical TT-SVD algorithm of Oseledets).
+Each core maps onto a small convolution:
+
+=========  =================  ==========================
+core       array shape         equivalent Conv2d weight
+=========  =================  ==========================
+``w1``     ``(I, r1)``         ``(r1, I, 1, 1)``
+``w2``     ``(r1, K, r2)``     ``(r2, r1, K, 1)``
+``w3``     ``(r2, K, r3)``     ``(r3, r2, 1, K)``
+``w4``     ``(r3, O)``         ``(O, r3, 1, 1)``
+=========  =================  ==========================
+
+so that chaining the four sub-convolutions reproduces the original 3x3
+convolution (exactly when the ranks are full, approximately when truncated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "TTCores",
+    "circular_permute_weight",
+    "inverse_circular_permute_weight",
+    "tt_decompose_conv",
+    "tt_cores_to_dense",
+    "truncated_svd",
+    "max_tt_ranks",
+]
+
+RankSpec = Union[int, Tuple[int, int, int], Sequence[int]]
+
+
+@dataclass
+class TTCores:
+    """Container for the four TT-cores of one decomposed convolution.
+
+    Attributes
+    ----------
+    w1, w2, w3, w4:
+        The core arrays in the shapes of the table in the module docstring.
+    ranks:
+        The TT-ranks ``(r1, r2, r3)`` actually used (after clipping to the
+        maximal admissible ranks of the unfoldings).
+    relative_error:
+        Frobenius-norm relative reconstruction error measured against the
+        tensor that was decomposed (0 when the ranks are full).
+    """
+
+    w1: np.ndarray
+    w2: np.ndarray
+    w3: np.ndarray
+    w4: np.ndarray
+    ranks: Tuple[int, int, int]
+    relative_error: float = 0.0
+
+    @property
+    def in_channels(self) -> int:
+        return self.w1.shape[0]
+
+    @property
+    def out_channels(self) -> int:
+        return self.w4.shape[1]
+
+    @property
+    def kernel_size(self) -> Tuple[int, int]:
+        return self.w2.shape[1], self.w3.shape[1]
+
+    def num_parameters(self) -> int:
+        """Total number of scalars stored by the four cores."""
+        return self.w1.size + self.w2.size + self.w3.size + self.w4.size
+
+    def conv_weights(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return the cores reshaped as Conv2d weights (see module docstring)."""
+        i, r1 = self.w1.shape
+        r1_, k1, r2 = self.w2.shape
+        r2_, k2, r3 = self.w3.shape
+        r3_, o = self.w4.shape
+        conv1 = self.w1.T.reshape(r1, i, 1, 1)
+        conv2 = self.w2.transpose(2, 0, 1).reshape(r2, r1_, k1, 1)
+        conv3 = self.w3.transpose(2, 0, 1).reshape(r3, r2_, 1, k2)
+        conv4 = self.w4.T.reshape(o, r3_, 1, 1)
+        return conv1, conv2, conv3, conv4
+
+
+def circular_permute_weight(weight: np.ndarray) -> np.ndarray:
+    """Apply the circular permutation of Eq. (3): ``(O, I, K, K) -> (I, K, K, O)``.
+
+    This is ``np.roll`` of the axis order by -1, i.e. the output-channel axis
+    moves to the end so the TT chain starts at the input channels.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"expected a 4-D convolution weight, got shape {weight.shape}")
+    return np.transpose(weight, (1, 2, 3, 0))
+
+
+def inverse_circular_permute_weight(permuted: np.ndarray) -> np.ndarray:
+    """Undo :func:`circular_permute_weight`: ``(I, K, K, O) -> (O, I, K, K)``."""
+    if permuted.ndim != 4:
+        raise ValueError(f"expected a 4-D tensor, got shape {permuted.shape}")
+    return np.transpose(permuted, (3, 0, 1, 2))
+
+
+def truncated_svd(matrix: np.ndarray, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Rank-``rank`` factorisation ``matrix ~= left @ right`` via SVD.
+
+    ``left`` has orthonormal columns (``U``), ``right`` carries the singular
+    values (``S @ Vt``), matching the TT-SVD convention where the running
+    remainder keeps the magnitude.
+    """
+    u, s, vt = np.linalg.svd(matrix, full_matrices=False)
+    rank = int(min(rank, s.shape[0]))
+    left = u[:, :rank]
+    right = s[:rank, None] * vt[:rank]
+    return left, right
+
+
+def max_tt_ranks(in_channels: int, out_channels: int, kernel_size: Tuple[int, int]) -> Tuple[int, int, int]:
+    """Maximal admissible TT-ranks of the ``(I, K1, K2, O)`` tensor.
+
+    ``r_k`` is bounded by the minimum of the row and column dimension of the
+    k-th sequential unfolding.
+    """
+    i, o = in_channels, out_channels
+    k1, k2 = kernel_size
+    r1 = min(i, k1 * k2 * o)
+    r2 = min(i * k1, k2 * o)
+    r3 = min(i * k1 * k2, o)
+    return r1, r2, r3
+
+
+def _normalise_ranks(rank: RankSpec, limits: Tuple[int, int, int]) -> Tuple[int, int, int]:
+    if isinstance(rank, (int, np.integer)):
+        requested = (int(rank),) * 3
+    else:
+        requested = tuple(int(r) for r in rank)
+        if len(requested) != 3:
+            raise ValueError(f"rank must be an int or a triple, got {rank!r}")
+    if any(r < 1 for r in requested):
+        raise ValueError(f"TT-ranks must be >= 1, got {requested}")
+    return tuple(min(r, limit) for r, limit in zip(requested, limits))
+
+
+def tt_decompose_conv(weight: np.ndarray, rank: RankSpec) -> TTCores:
+    """Decompose a convolution weight ``(O, I, K1, K2)`` into four TT-cores.
+
+    Parameters
+    ----------
+    weight:
+        Dense convolution weight in PyTorch layout.
+    rank:
+        Either a single integer (the paper's per-layer rank ``r`` used for all
+        three TT-ranks) or a triple ``(r1, r2, r3)``.  Ranks are clipped to
+        the maximal admissible values.
+
+    Returns
+    -------
+    TTCores
+        Cores plus the achieved relative reconstruction error.
+    """
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 4:
+        raise ValueError(f"expected (O, I, K1, K2) weight, got shape {weight.shape}")
+    out_c, in_c, k1, k2 = weight.shape
+    limits = max_tt_ranks(in_c, out_c, (k1, k2))
+    r1, r2, r3 = _normalise_ranks(rank, limits)
+
+    target = circular_permute_weight(weight)  # (I, K1, K2, O)
+
+    # --- TT-SVD: successive unfoldings ------------------------------------
+    # Unfold 1: (I) x (K1*K2*O)
+    mat1 = target.reshape(in_c, k1 * k2 * out_c)
+    w1, remainder = truncated_svd(mat1, r1)           # w1: (I, r1)
+    r1 = w1.shape[1]
+
+    # remainder: (r1, K1*K2*O) -> unfold 2: (r1*K1) x (K2*O)
+    mat2 = remainder.reshape(r1 * k1, k2 * out_c)
+    core2_flat, remainder = truncated_svd(mat2, r2)    # core2_flat: (r1*K1, r2)
+    r2 = core2_flat.shape[1]
+    w2 = core2_flat.reshape(r1, k1, r2)
+
+    # remainder: (r2, K2*O) -> unfold 3: (r2*K2) x (O)
+    mat3 = remainder.reshape(r2 * k2, out_c)
+    core3_flat, remainder = truncated_svd(mat3, r3)    # core3_flat: (r2*K2, r3)
+    r3 = core3_flat.shape[1]
+    w3 = core3_flat.reshape(r2, k2, r3)
+
+    w4 = remainder  # (r3, O)
+
+    cores = TTCores(
+        w1=w1.astype(np.float32),
+        w2=w2.astype(np.float32),
+        w3=w3.astype(np.float32),
+        w4=w4.astype(np.float32),
+        ranks=(r1, r2, r3),
+    )
+    approx = tt_cores_to_dense(cores)
+    denom = np.linalg.norm(weight)
+    if denom > 0:
+        cores.relative_error = float(np.linalg.norm(approx - weight) / denom)
+    return cores
+
+
+def tt_cores_to_dense(cores: TTCores) -> np.ndarray:
+    """Contract the four TT-cores back into a dense ``(O, I, K1, K2)`` weight.
+
+    This is the *sequential* (STT) reconstruction — the exact inverse of
+    :func:`tt_decompose_conv` when ranks are full.  The parallel (PTT)
+    reconstruction of Eq. (6) lives in :mod:`repro.tt.reconstruct`.
+    """
+    # (I, r1) x (r1, K1, r2) x (r2, K2, r3) x (r3, O) -> (I, K1, K2, O)
+    permuted = np.einsum("ia,akb,blc,co->iklo", cores.w1, cores.w2, cores.w3, cores.w4, optimize=True)
+    return inverse_circular_permute_weight(permuted).astype(np.float32)

@@ -1,0 +1,97 @@
+"""TT-rank selection: VBMF-based estimation plus the paper's reported ranks.
+
+The paper initialises a baseline SNN, runs VBMF on every decomposable
+convolution weight and uses the estimated rank for that layer (Algorithm 1,
+lines 1-2).  Because VBMF ranks depend on the trained weight statistics, this
+module also ships the exact rank lists printed in the paper (Section V-A) so
+that the analytical compression numbers of Table II can be reproduced without
+re-running the 100-epoch GPU training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tt.vbmf import estimate_rank
+
+__all__ = [
+    "PAPER_RANKS_RESNET18",
+    "PAPER_RANKS_RESNET34",
+    "estimate_tt_rank_for_weight",
+    "rank_for_layer",
+    "scale_ranks",
+]
+
+# Per-layer VBMF ranks reported in Section V-A of the paper, in layer order
+# (the 16 decomposable 3x3 convolutions of ResNet-18 minus stem/classifier,
+# and the 32 of ResNet-34).
+PAPER_RANKS_RESNET18: List[int] = [
+    24, 27, 25, 29, 37, 45, 43, 41, 65, 74, 70, 63, 104, 153, 186, 145,
+]
+
+PAPER_RANKS_RESNET34: List[int] = [
+    24, 23, 22, 17, 16, 12, 22, 31, 25, 25, 24, 21,
+    20, 19, 48, 79, 64, 69, 63, 69, 60, 65, 63, 63,
+    62, 58, 121, 170, 173, 147, 161, 108,
+]
+
+
+def estimate_tt_rank_for_weight(weight: np.ndarray, min_rank: int = 1,
+                                max_rank: Optional[int] = None) -> int:
+    """Estimate a single TT-rank for a convolution weight using EVBMF.
+
+    Following the paper (and the Gabor & Zdunek recipe it builds on), EVBMF is
+    applied to the mode-1 unfolding of the circularly permuted weight, i.e.
+    the ``(O, I*K*K)`` matrix; the estimated rank is shared by all three
+    TT-ranks of that layer (the paper reports one rank per layer).
+    """
+    weight = np.asarray(weight)
+    if weight.ndim != 4:
+        raise ValueError(f"expected a (O, I, K, K) convolution weight, got {weight.shape}")
+    out_c = weight.shape[0]
+    unfolding = weight.reshape(out_c, -1)
+    hard_limit = min(unfolding.shape)
+    if max_rank is None:
+        max_rank = hard_limit
+    return estimate_rank(unfolding, min_rank=min_rank, max_rank=min(max_rank, hard_limit))
+
+
+def rank_for_layer(layer_index: int, architecture: str = "resnet18",
+                   scale: float = 1.0) -> int:
+    """Look up the paper's VBMF rank for layer ``layer_index`` of an architecture.
+
+    Parameters
+    ----------
+    layer_index:
+        Zero-based index over the decomposable convolutions (the paper skips
+        the stem convolution and the classifier).
+    architecture:
+        ``"resnet18"`` or ``"resnet34"``.
+    scale:
+        Width multiplier; when models are built at reduced width (as the
+        laptop-scale experiments do) the rank is scaled proportionally and
+        floored at 1.
+    """
+    tables: Dict[str, List[int]] = {
+        "resnet18": PAPER_RANKS_RESNET18,
+        "resnet34": PAPER_RANKS_RESNET34,
+    }
+    key = architecture.lower()
+    if key not in tables:
+        raise KeyError(f"unknown architecture '{architecture}'; options: {sorted(tables)}")
+    table = tables[key]
+    if not 0 <= layer_index < len(table):
+        raise IndexError(
+            f"layer index {layer_index} out of range for {architecture} "
+            f"({len(table)} decomposable layers)"
+        )
+    return max(1, int(round(table[layer_index] * scale)))
+
+
+def scale_ranks(ranks: Sequence[int], scale: float) -> List[int]:
+    """Scale a list of ranks by ``scale`` (floored at 1)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return [max(1, int(round(r * scale))) for r in ranks]

@@ -1,0 +1,100 @@
+"""Post-training reconstruction of dense weights from TT cores (Eq. 6).
+
+After training, the paper merges the four sub-convolutions of every TT module
+back into a single dense kernel so that inference runs as an ordinary
+spike-driven convolution (Algorithm 1, lines 20-22):
+
+.. math::
+
+    \\widetilde{W} = (w^{(1)} \\times_1 w^{(2)} \\times_1 w^{(4)})
+                   + (w^{(1)} \\times_1 w^{(3)} \\times_1 w^{(4)})
+
+For the *parallel* variants the reconstructed kernel is a 3x3 cross: the
+vertical branch fills the middle column, the horizontal branch fills the
+middle row, and the centre cell receives both contributions.  For the
+sequential variant the reconstruction is the full TT contraction.
+
+Because every TT module places its stride on the final 1x1 sub-convolution,
+the merged dense convolution (same stride, "same" padding) is an *exact*
+functional replacement — verified by the equivalence tests in
+``tests/test_tt_reconstruct.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.tt.decomposition import TTCores, tt_cores_to_dense
+from repro.tt.layers import HTTConv2d, PTTConv2d, STTConv2d, TTConv2dBase
+
+__all__ = ["reconstruct_dense_weight", "merge_tt_layer", "merge_model"]
+
+
+def _parallel_cores_to_dense(cores: TTCores) -> np.ndarray:
+    """Eq. (6): merge PTT/HTT cores into a dense cross-shaped ``(O, I, K, K)`` kernel."""
+    w1, w2, w3, w4 = cores.w1, cores.w2, cores.w3, cores.w4
+    in_c = w1.shape[0]
+    out_c = w4.shape[1]
+    k1 = w2.shape[1]
+    k2 = w3.shape[1]
+
+    # Vertical branch: x -> w1 -> w2 -> w4, kernel footprint (K, 1).
+    vertical = np.einsum("ia,akb,bo->oik", w1, w2, w4, optimize=True)
+    # Horizontal branch: x -> w1 -> w3 -> w4, kernel footprint (1, K).
+    horizontal = np.einsum("ia,akb,bo->oik", w1, w3, w4, optimize=True)
+
+    dense = np.zeros((out_c, in_c, k1, k2), dtype=np.float32)
+    dense[:, :, :, k2 // 2] += vertical.astype(np.float32)
+    dense[:, :, k1 // 2, :] += horizontal.astype(np.float32)
+    return dense
+
+
+def reconstruct_dense_weight(layer: TTConv2dBase) -> np.ndarray:
+    """Reconstruct the dense ``(O, I, K, K)`` weight equivalent to a TT layer.
+
+    * STT layers contract all four cores (exact inverse of the TT-SVD).
+    * PTT and HTT layers use the parallel reconstruction of Eq. (6); HTT
+      merges its *full-path* weights (the half path is a runtime shortcut,
+      not a different parameterisation).
+    """
+    if not isinstance(layer, TTConv2dBase):
+        raise TypeError(f"cannot reconstruct weights for layer of type {type(layer).__name__}")
+    cores = layer.extract_cores()
+    if isinstance(layer, STTConv2d):
+        return tt_cores_to_dense(cores)
+    return _parallel_cores_to_dense(cores)
+
+
+def merge_tt_layer(layer: TTConv2dBase) -> Conv2d:
+    """Build a dense :class:`~repro.nn.Conv2d` that replaces ``layer`` at inference."""
+    dense_weight = reconstruct_dense_weight(layer)
+    merged = Conv2d(
+        layer.in_channels,
+        layer.out_channels,
+        kernel_size=layer.kernel_size,
+        stride=layer.stride,
+        padding=layer.padding,
+        bias=False,
+    )
+    merged.weight.data[...] = dense_weight
+    return merged
+
+
+def merge_model(model: Module) -> int:
+    """Replace every TT layer inside ``model`` (in place) by its dense equivalent.
+
+    Returns the number of layers merged.  This implements Algorithm 1 lines
+    20-22: after training, the whole network becomes a plain spike-driven
+    CNN again.
+    """
+    merged_count = 0
+    for module in list(model.modules()):
+        for child_name, child in list(module.named_children()):
+            if isinstance(child, TTConv2dBase):
+                setattr(module, child_name, merge_tt_layer(child))
+                merged_count += 1
+    return merged_count

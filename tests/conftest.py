@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the TT-SNN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for every test."""
+    return np.random.default_rng(12345)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar-valued ``fn``.
+
+    ``fn`` receives a plain ndarray and must return a Python float.
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def assert_grad_close(analytic: np.ndarray, numeric: np.ndarray, atol: float = 1e-2,
+                      rtol: float = 5e-2) -> None:
+    """Compare analytic and numeric gradients with tolerances suited to float32."""
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+@pytest.fixture
+def small_image_batch(rng) -> np.ndarray:
+    """A tiny (N, C, H, W) float batch."""
+    return rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def tiny_resnet():
+    """A very small spiking ResNet-18 for integration tests."""
+    from repro.models.resnet import spiking_resnet18
+
+    return spiking_resnet18(num_classes=4, in_channels=3, timesteps=2, width_scale=0.07,
+                            rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def tiny_static_dataset():
+    """A tiny synthetic static-image dataset."""
+    from repro.data.synthetic import make_static_image_dataset
+
+    return make_static_image_dataset(num_samples=16, num_classes=4, channels=3,
+                                     height=12, width=12, seed=7)
+
+
+@pytest.fixture
+def tiny_event_dataset():
+    """A tiny synthetic event dataset."""
+    from repro.data.synthetic import make_event_dataset
+
+    return make_event_dataset(num_samples=12, num_classes=4, timesteps=3, channels=2,
+                              height=12, width=12, seed=7)

@@ -1,0 +1,171 @@
+"""Tests for the accelerator energy models and the Fig. 4 relative results."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import EnergyBreakdown, ExistingAcceleratorModel
+from repro.hardware.config import AcceleratorConfig, EnergyTable, TABLE_I_CONFIG, existing_accelerator_config
+from repro.hardware.multicluster import MultiClusterAcceleratorModel
+from repro.hardware.simulator import simulate_methods, simulate_training_energy
+from repro.hardware.workload import build_layer_workloads, tt_sublayer_workloads
+from repro.models.specs import resnet18_layer_specs, resnet34_layer_specs
+from repro.tt.ranks import PAPER_RANKS_RESNET18, PAPER_RANKS_RESNET34
+
+
+SPECS18 = resnet18_layer_specs(num_classes=10)
+
+
+class TestConfig:
+    def test_table_i_values(self):
+        cfg = TABLE_I_CONFIG
+        assert cfg.technology_nm == 28
+        assert cfg.frequency_mhz == 400
+        assert cfg.num_clusters == 4
+        assert cfg.pes_per_cluster == 32
+        assert cfg.scratchpad_bytes_per_pe == 32
+        assert cfg.total_global_buffer_kb == 272
+        assert cfg.accumulator_bits == 16
+        assert cfg.multiplier_bits == 8
+
+    def test_existing_config_is_single_engine(self):
+        assert existing_accelerator_config().num_clusters == 1
+
+    def test_validation(self):
+        bad = AcceleratorConfig(num_clusters=0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_energy_table_ratios_sane(self):
+        e = EnergyTable()
+        assert e.ac_pj < e.mac_pj              # accumulate cheaper than MAC
+        assert e.sram_read_pj_per_byte < e.dram_pj_per_byte / 10   # DRAM >> SRAM
+
+
+class TestWorkloads:
+    def test_tt_expansion_has_four_sublayers(self):
+        spec = [s for s in SPECS18 if s.decomposable][0]
+        subs = tt_sublayer_workloads(spec, rank=24, parallel=True)
+        assert len(subs) == 4
+        assert subs[1].parallel_group == "branch" and subs[2].parallel_group == "branch"
+        assert subs[0].parallel_group is None and subs[3].parallel_group is None
+        assert subs[1].skippable_on_half and subs[2].skippable_on_half
+
+    def test_stt_expansion_not_parallel(self):
+        spec = [s for s in SPECS18 if s.decomposable][0]
+        subs = tt_sublayer_workloads(spec, rank=24, parallel=False)
+        assert all(s.parallel_group is None for s in subs)
+
+    def test_baseline_workloads_single_sublayer(self):
+        workloads = build_layer_workloads(SPECS18, "baseline", ranks=8)
+        assert all(len(w.sublayers) == 1 for w in workloads)
+
+    def test_tt_macs_smaller_than_baseline(self):
+        base = build_layer_workloads(SPECS18, "baseline", ranks=PAPER_RANKS_RESNET18)
+        tt = build_layer_workloads(SPECS18, "ptt", ranks=PAPER_RANKS_RESNET18)
+        assert sum(w.total_macs for w in tt) < sum(w.total_macs for w in base)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            build_layer_workloads(SPECS18, "qtt", ranks=8)
+
+
+class TestEnergyBreakdown:
+    def test_accumulation(self):
+        a = EnergyBreakdown(compute_pj=1, sram_pj=2, dram_pj=3, static_pj=4, cycles=5, leakage_cycles=5)
+        b = EnergyBreakdown(compute_pj=1, cycles=1, leakage_cycles=1)
+        a.add(b)
+        assert a.total_pj == pytest.approx(11)
+        assert a.cycles == 6
+        assert "total_pj" in a.as_dict()
+
+
+class TestAcceleratorModels:
+    def test_energy_components_positive(self):
+        report = simulate_training_energy(SPECS18, "ptt", ExistingAcceleratorModel(),
+                                          ranks=PAPER_RANKS_RESNET18, timesteps=4)
+        b = report.breakdown
+        assert b.compute_pj > 0 and b.sram_pj > 0 and b.dram_pj > 0 and b.static_pj > 0
+        assert report.total_nj == pytest.approx(b.total_pj / 1e3)
+
+    def test_energy_scales_with_timesteps(self):
+        short = simulate_training_energy(SPECS18, "baseline", ExistingAcceleratorModel(),
+                                         ranks=8, timesteps=2)
+        long = simulate_training_energy(SPECS18, "baseline", ExistingAcceleratorModel(),
+                                        ranks=8, timesteps=4)
+        assert long.total_pj > short.total_pj * 1.5
+
+    def test_half_timesteps_validated(self):
+        with pytest.raises(ValueError):
+            simulate_training_energy(SPECS18, "htt", ExistingAcceleratorModel(),
+                                     ranks=8, timesteps=4, half_timesteps=9)
+
+
+class TestFig4aRelations:
+    """Fig. 4(a): relative energies on the existing single-engine accelerator."""
+
+    @pytest.fixture(scope="class")
+    def existing_reports(self):
+        return simulate_methods(SPECS18, ExistingAcceleratorModel(), PAPER_RANKS_RESNET18,
+                                timesteps=4, half_timesteps=2)
+
+    def test_stt_cuts_most_of_the_baseline_energy(self, existing_reports):
+        base = existing_reports["baseline"].total_pj
+        stt = existing_reports["stt"].total_pj
+        saving = 1 - stt / base
+        # Paper reports 68.1%; the analytical model lands in the same band.
+        assert 0.55 < saving < 0.9
+
+    def test_ptt_costs_more_than_stt_on_existing_accelerator(self, existing_reports):
+        stt = existing_reports["stt"].total_pj
+        ptt = existing_reports["ptt"].total_pj
+        overhead = ptt / stt - 1
+        # Paper reports +10.9% (DRAM round trip of the parallel branch).
+        assert 0.02 < overhead < 0.25
+
+    def test_htt_close_to_stt_on_existing_accelerator(self, existing_reports):
+        stt = existing_reports["stt"].total_pj
+        htt = existing_reports["htt"].total_pj
+        assert abs(htt / stt - 1) < 0.15
+
+
+class TestFig4bRelations:
+    """Fig. 4(b): savings of PTT / HTT over STT on the proposed multi-cluster design."""
+
+    @pytest.fixture(scope="class")
+    def proposed_reports(self):
+        return simulate_methods(SPECS18, MultiClusterAcceleratorModel(), PAPER_RANKS_RESNET18,
+                                timesteps=4, methods=("stt", "ptt", "htt"), half_timesteps=2)
+
+    def test_ptt_saves_energy_on_proposed_accelerator(self, proposed_reports):
+        stt = proposed_reports["stt"].total_pj
+        ptt = proposed_reports["ptt"].total_pj
+        saving = 1 - ptt / stt
+        # Paper: 28.3%.
+        assert 0.15 < saving < 0.45
+
+    def test_htt_saves_more_than_ptt(self, proposed_reports):
+        stt = proposed_reports["stt"].total_pj
+        ptt = proposed_reports["ptt"].total_pj
+        htt = proposed_reports["htt"].total_pj
+        assert htt < ptt < stt
+        saving = 1 - htt / stt
+        # Paper: 43.5%.
+        assert 0.30 < saving < 0.60
+
+    def test_resnet34_shows_same_ordering(self):
+        specs = resnet34_layer_specs(num_classes=101)
+        reports = simulate_methods(specs, MultiClusterAcceleratorModel(), PAPER_RANKS_RESNET34,
+                                   timesteps=6, methods=("stt", "ptt", "htt"), half_timesteps=2)
+        assert reports["htt"].total_pj < reports["ptt"].total_pj < reports["stt"].total_pj
+
+
+class TestCrossAcceleratorComparison:
+    def test_proposed_accelerator_reverses_the_ptt_penalty(self):
+        """The point of Sec. IV: on the existing accelerator PTT costs *more* than STT,
+        on the proposed multi-cluster accelerator it costs *less*."""
+        existing = simulate_methods(SPECS18, ExistingAcceleratorModel(), PAPER_RANKS_RESNET18,
+                                    timesteps=4, methods=("stt", "ptt"))
+        proposed = simulate_methods(SPECS18, MultiClusterAcceleratorModel(), PAPER_RANKS_RESNET18,
+                                    timesteps=4, methods=("stt", "ptt"))
+        assert existing["ptt"].total_pj > existing["stt"].total_pj
+        assert proposed["ptt"].total_pj < proposed["stt"].total_pj

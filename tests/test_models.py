@@ -1,0 +1,191 @@
+"""Tests for the spiking model zoo, TT model surgery and the analytical layer specs."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.params import count_parameters
+from repro.models.builder import convert_to_tt, count_tt_layers, decomposable_convolutions
+from repro.models.resnet import spiking_resnet18, spiking_resnet20, spiking_resnet34
+from repro.models.specs import (
+    model_layer_specs,
+    resnet18_layer_specs,
+    resnet34_layer_specs,
+    vgg_layer_specs,
+)
+from repro.models.vgg import VGG9_CONFIG, spiking_vgg9, spiking_vgg11
+from repro.tt.layers import HTTConv2d, PTTConv2d, STTConv2d
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestResNets:
+    def test_resnet18_forward_shapes(self, rng):
+        model = spiking_resnet18(num_classes=5, timesteps=2, width_scale=0.07, rng=RNG)
+        inputs = rng.random((2, 3, 3, 16, 16)).astype(np.float32)
+        outputs = model.run_timesteps(inputs)
+        assert len(outputs) == 2
+        assert outputs[0].shape == (3, 5)
+
+    def test_resnet18_has_16_decomposable_convs(self):
+        model = spiking_resnet18(width_scale=0.07)
+        assert len(model.decomposable_layer_names()) == 16
+
+    def test_resnet34_has_32_decomposable_convs(self):
+        model = spiking_resnet34(width_scale=0.07)
+        assert len(model.decomposable_layer_names()) == 32
+
+    def test_resnet20_three_stages(self):
+        model = spiking_resnet20(width_scale=0.5)
+        assert len(model.decomposable_layer_names()) == 18
+        assert len(model.stages) == 3
+
+    def test_stem_excluded_from_decomposition(self):
+        model = spiking_resnet18(width_scale=0.07)
+        assert "stem_conv" not in model.decomposable_layer_names()
+
+    def test_full_width_resnet18_parameter_count_matches_paper(self):
+        """At width_scale=1 the dense ResNet-18 must hold ~11.2M parameters (Table II)."""
+        model = spiking_resnet18(num_classes=10, width_scale=1.0)
+        params = count_parameters(model)
+        assert params == pytest.approx(11.2e6, rel=0.02)
+
+    def test_event_input_channels(self, rng):
+        model = spiking_resnet34(num_classes=6, in_channels=2, timesteps=2, width_scale=0.05,
+                                 rng=RNG)
+        inputs = rng.random((2, 2, 2, 16, 16)).astype(np.float32)
+        outputs = model.run_timesteps(inputs)
+        assert outputs[0].shape == (2, 6)
+
+    def test_predict_returns_labels(self, rng):
+        model = spiking_resnet18(num_classes=4, timesteps=2, width_scale=0.07, rng=RNG)
+        inputs = rng.random((2, 2, 3, 12, 12)).astype(np.float32)
+        predictions = model.predict(inputs)
+        assert predictions.shape == (2,)
+        assert np.all((predictions >= 0) & (predictions < 4))
+
+    def test_run_timesteps_validates_input(self, rng):
+        model = spiking_resnet18(num_classes=4, timesteps=4, width_scale=0.07)
+        with pytest.raises(ValueError):
+            model.run_timesteps(rng.random((2, 3, 12, 12)))       # missing time axis
+        with pytest.raises(ValueError):
+            model.run_timesteps(rng.random((2, 2, 3, 12, 12)))    # too few timesteps
+
+
+class TestVGG:
+    def test_vgg9_forward(self, rng):
+        model = spiking_vgg9(num_classes=5, timesteps=2, width_scale=0.1, rng=RNG)
+        inputs = rng.random((2, 2, 3, 16, 16)).astype(np.float32)
+        assert model.run_timesteps(inputs)[0].shape == (2, 5)
+
+    def test_vgg_stem_excluded(self):
+        model = spiking_vgg9(width_scale=0.1)
+        names = model.decomposable_layer_names()
+        expected_convs = sum(1 for entry in VGG9_CONFIG if entry != "M")
+        assert len(names) == expected_convs - 1
+
+    def test_vgg11_event_input(self, rng):
+        model = spiking_vgg11(num_classes=4, in_channels=2, timesteps=2, width_scale=0.1, rng=RNG)
+        inputs = rng.random((2, 2, 2, 16, 16)).astype(np.float32)
+        assert model.run_timesteps(inputs)[0].shape == (2, 4)
+
+
+class TestConvertToTT:
+    @pytest.mark.parametrize("variant,cls", [("stt", STTConv2d), ("ptt", PTTConv2d), ("htt", HTTConv2d)])
+    def test_variant_replacement(self, variant, cls):
+        model = spiking_resnet18(num_classes=4, timesteps=4, width_scale=0.07, rng=RNG)
+        replaced = convert_to_tt(model, variant=variant, rank=4, timesteps=4)
+        assert len(replaced) == 16
+        tt_layers = [m for m in model.modules() if isinstance(m, cls)]
+        assert len(tt_layers) == 16
+
+    def test_conversion_reduces_parameters_at_full_width(self):
+        dense = spiking_resnet18(num_classes=10, width_scale=1.0)
+        dense_params = count_parameters(dense)
+        convert_to_tt(dense, variant="ptt", rank=list(np.array([24, 27, 25, 29, 37, 45, 43, 41,
+                                                                65, 74, 70, 63, 104, 153, 186, 145])))
+        tt_params = count_parameters(dense)
+        assert dense_params / tt_params > 5.0
+
+    def test_rank_list_policy(self):
+        model = spiking_resnet18(num_classes=4, timesteps=2, width_scale=0.07, rng=RNG)
+        convert_to_tt(model, variant="ptt", rank=[2] * 16)
+        for layer in model.modules():
+            if isinstance(layer, PTTConv2d):
+                assert layer.ranks == (2, 2, 2)
+
+    def test_callable_rank_policy(self):
+        model = spiking_resnet18(num_classes=4, timesteps=2, width_scale=0.07, rng=RNG)
+        convert_to_tt(model, variant="ptt", rank=lambda index, conv: 2 + (index % 2))
+        ranks = {layer.ranks[0] for layer in model.modules() if isinstance(layer, PTTConv2d)}
+        assert ranks == {2, 3}
+
+    def test_vbmf_rank_policy_runs(self):
+        model = spiking_resnet18(num_classes=4, timesteps=2, width_scale=0.07, rng=RNG)
+        convert_to_tt(model, variant="ptt", rank="vbmf")
+        assert count_tt_layers(model) == 16
+
+    def test_converted_model_still_runs(self, rng):
+        model = spiking_resnet18(num_classes=4, timesteps=2, width_scale=0.07, rng=RNG)
+        convert_to_tt(model, variant="htt", rank=3, timesteps=2, schedule="FH")
+        inputs = rng.random((2, 2, 3, 12, 12)).astype(np.float32)
+        outputs = model.run_timesteps(inputs)
+        assert outputs[0].shape == (2, 4)
+
+    def test_invalid_variant(self):
+        model = spiking_resnet18(width_scale=0.07)
+        with pytest.raises(ValueError):
+            convert_to_tt(model, variant="qtt")
+
+    def test_decomposable_convolutions_fallback(self):
+        """Models without decomposable_layer_names still expose their 3x3 convs."""
+        from repro.nn.layers import Conv2d
+        from repro.nn.module import Module
+
+        class Plain(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Conv2d(3, 8, 3)
+                self.b = Conv2d(8, 8, 1)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        found = decomposable_convolutions(Plain())
+        assert [name for name, _ in found] == ["a"]
+
+
+class TestLayerSpecs:
+    def test_spec_counts_match_models(self):
+        specs = resnet18_layer_specs()
+        decomposable = [s for s in specs if s.decomposable]
+        assert len(decomposable) == 16
+        specs34 = resnet34_layer_specs()
+        assert len([s for s in specs34 if s.decomposable]) == 32
+
+    def test_spec_params_match_instantiated_model(self):
+        """The analytical spec total must match the real model's conv/fc parameters."""
+        model = spiking_resnet18(num_classes=10, width_scale=1.0)
+        specs = resnet18_layer_specs(num_classes=10)
+        spec_params = sum(s.params for s in specs)
+        model_params = count_parameters(model)
+        # The model additionally has batch-norm affine parameters, which the
+        # specs deliberately exclude (they are not decomposed or compressed).
+        bn_params = model_params - spec_params
+        assert 0 < bn_params < 0.02 * model_params
+
+    def test_spatial_bookkeeping(self):
+        specs = resnet18_layer_specs(input_hw=(32, 32))
+        final_conv = [s for s in specs if s.kind == "conv"][-1]
+        assert final_conv.output_hw == (4, 4)
+
+    def test_vgg_specs(self):
+        specs = vgg_layer_specs(VGG9_CONFIG, num_classes=10)
+        assert specs[0].decomposable is False            # stem
+        assert specs[-1].kind == "linear"
+
+    def test_model_layer_specs_dispatch(self):
+        assert model_layer_specs("resnet18")
+        assert model_layer_specs("vgg11")
+        with pytest.raises(KeyError):
+            model_layer_specs("transformer")

@@ -1,0 +1,151 @@
+"""Tests for the standard layers: Conv2d, Linear, BatchNorm2d, pooling, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn import init
+
+
+class TestConv2dLayer:
+    def test_output_shape_square(self, rng, small_image_batch):
+        conv = Conv2d(3, 8, 3, stride=1, padding=1)
+        out = conv(Tensor(small_image_batch))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_asymmetric(self, rng, small_image_batch):
+        conv_v = Conv2d(3, 4, (3, 1), padding=(1, 0))
+        conv_h = Conv2d(3, 4, (1, 3), padding=(0, 1))
+        assert conv_v(Tensor(small_image_batch)).shape == (2, 4, 8, 8)
+        assert conv_h(Tensor(small_image_batch)).shape == (2, 4, 8, 8)
+
+    def test_same_padding_string(self, small_image_batch):
+        conv = Conv2d(3, 4, 3, padding="same")
+        assert conv.padding == (1, 1)
+        assert conv(Tensor(small_image_batch)).shape[-2:] == (8, 8)
+
+    def test_stride_downsamples(self, small_image_batch):
+        conv = Conv2d(3, 4, 3, stride=2, padding=1)
+        assert conv(Tensor(small_image_batch)).shape[-2:] == (4, 4)
+
+    def test_bias_parameter_optional(self):
+        assert Conv2d(3, 4, 3, bias=False).bias is None
+        assert Conv2d(3, 4, 3, bias=True).bias is not None
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 4, 3)
+
+    def test_output_shape_helper(self):
+        conv = Conv2d(3, 4, 3, stride=2, padding=1)
+        assert conv.output_shape((32, 32)) == (16, 16)
+
+
+class TestLinearLayer:
+    def test_shapes_and_grad(self, rng):
+        fc = Linear(6, 3)
+        x = Tensor(rng.standard_normal((4, 6)).astype(np.float32), requires_grad=True)
+        out = fc(x)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert fc.weight.grad.shape == (3, 6)
+        assert fc.bias.grad.shape == (3,)
+
+
+class TestBatchNorm2d:
+    def test_normalises_in_training(self, rng):
+        bn = BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 1e-2
+        assert abs(out.data.std() - 1.0) < 5e-2
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 3, 3), dtype=np.float32) * 10)
+        bn(x)
+        assert np.all(bn.running_mean.data > 0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((8, 2, 4, 4)).astype(np.float32))
+        for _ in range(20):
+            bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        bn.train()
+        out_train = bn(x)
+        # After many updates the two paths should be close but computed differently.
+        assert out_eval.shape == out_train.shape
+        assert np.all(np.isfinite(out_eval.data))
+
+    def test_rejects_non_4d(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(ValueError):
+            bn(Tensor(np.ones((2, 2))))
+
+    def test_gamma_init(self):
+        bn = BatchNorm2d(3, gamma_init=0.5)
+        np.testing.assert_allclose(bn.weight.data, np.full(3, 0.5))
+
+
+class TestPoolingLayers:
+    def test_avg_and_max_pool_layers(self, small_image_batch):
+        assert AvgPool2d(2)(Tensor(small_image_batch)).shape == (2, 3, 4, 4)
+        assert MaxPool2d(2)(Tensor(small_image_batch)).shape == (2, 3, 4, 4)
+
+    def test_adaptive_pool_layer(self, small_image_batch):
+        assert AdaptiveAvgPool2d(1)(Tensor(small_image_batch)).shape == (2, 3, 1, 1)
+
+
+class TestMiscLayers:
+    def test_flatten(self, small_image_batch):
+        assert Flatten()(Tensor(small_image_batch)).shape == (2, 3 * 64)
+
+    def test_identity(self, small_image_batch):
+        x = Tensor(small_image_batch)
+        assert Identity()(x) is x
+
+    def test_relu_layer(self):
+        out = ReLU()(Tensor(np.array([-1.0, 1.0])))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_dropout_layer_respects_training_flag(self, rng):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100,), dtype=np.float32))
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+        drop.train()
+        assert not np.array_equal(drop(x).data, x.data)
+
+
+class TestInit:
+    def test_fan_in_fan_out_conv(self):
+        fan_in, fan_out = init.calculate_fan_in_fan_out((8, 4, 3, 3))
+        assert fan_in == 4 * 9 and fan_out == 8 * 9
+
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((256, 128, 3, 3), rng=np.random.default_rng(0))
+        expected_std = np.sqrt(2.0 / (256 * 9))
+        assert w.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((64, 64), rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 128)
+        assert np.all(np.abs(w) <= bound + 1e-6)
+
+    def test_fan_requires_2d(self):
+        with pytest.raises(ValueError):
+            init.calculate_fan_in_fan_out((5,))

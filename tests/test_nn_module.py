@@ -1,0 +1,115 @@
+"""Tests for Module / Parameter registration, traversal and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.layers import Conv2d, Linear, Sequential, BatchNorm2d
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 2)
+        self.scale = Parameter(np.ones(1))
+        self.register_buffer("counter", Tensor(np.zeros(1)))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found_recursively(self):
+        model = Toy()
+        names = dict(model.named_parameters())
+        assert "fc1.weight" in names and "fc2.bias" in names and "scale" in names
+        assert len(list(model.parameters())) == 5
+
+    def test_buffers_registered(self):
+        model = Toy()
+        assert "counter" in dict(model.named_buffers())
+
+    def test_reassigning_attribute_updates_registry(self):
+        model = Toy()
+        model.fc1 = Linear(4, 6)
+        assert model.fc1.out_features == 6
+        assert dict(model.named_parameters())["fc1.weight"].shape == (6, 4)
+
+    def test_num_parameters(self):
+        model = Toy()
+        expected = 4 * 8 + 8 + 8 * 2 + 2 + 1
+        assert model.num_parameters() == expected
+
+    def test_modules_iteration(self):
+        model = Toy()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Linear") == 2
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(3, 3), BatchNorm2d(3))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        model = Toy()
+        state = model.state_dict()
+        model2 = Toy()
+        model2.load_state_dict(state)
+        for (name_a, p_a), (name_b, p_b) in zip(model.named_parameters(), model2.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(p_a.data, p_b.data)
+
+    def test_strict_mismatch_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = Toy()
+        state = model.state_dict()
+        state["scale"] = np.ones(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state, strict=False)
+
+
+class TestZeroGrad:
+    def test_zero_grad_clears(self):
+        model = Toy()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        model(x).sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestModuleList:
+    def test_registers_children(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        assert len(list(ml.parameters())) == 4
+        ml.append(Linear(2, 3))
+        assert len(ml) == 3
+        assert ml[2].out_features == 3
+
+    def test_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([])(None)
+
+
+class TestSequential:
+    def test_forward_order(self):
+        seq = Sequential(Linear(3, 5), Linear(5, 2))
+        out = seq(Tensor(np.ones((1, 3), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)

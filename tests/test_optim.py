@@ -1,0 +1,121 @@
+"""Tests for SGD / Adam and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, CosineAnnealingLR, LambdaLR, StepLR
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ||w - 3||^2."""
+    diff = param - Tensor(np.full_like(param.data, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(4, dtype=np.float32))
+        opt = SGD([w], lr=0.1, momentum=0.0, weight_decay=0.0)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.zeros(1, dtype=np.float32))
+        w_momentum = Parameter(np.zeros(1, dtype=np.float32))
+        opt_plain = SGD([w_plain], lr=0.01, momentum=0.0, weight_decay=0.0)
+        opt_momentum = SGD([w_momentum], lr=0.01, momentum=0.9, weight_decay=0.0)
+        for _ in range(20):
+            for w, opt in ((w_plain, opt_plain), (w_momentum, opt_momentum)):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+        assert abs(w_momentum.data[0] - 3.0) < abs(w_plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Parameter(np.full(3, 5.0, dtype=np.float32))
+        opt = SGD([w], lr=0.1, momentum=0.0, weight_decay=0.5)
+        opt.zero_grad()
+        w.grad = np.zeros_like(w.data)
+        opt.step()
+        assert np.all(w.data < 5.0)
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.ones(2, dtype=np.float32))
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no grad -> no change, no crash
+        np.testing.assert_array_equal(w.data, np.ones(2))
+
+    def test_requires_trainable_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_state_dict_round_trip(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        opt = SGD([w], lr=0.1, momentum=0.9)
+        opt.zero_grad()
+        quadratic_loss(w).backward()
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([Parameter(np.zeros(2, dtype=np.float32))], lr=0.5)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        assert opt2.momentum == 0.9
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(4, dtype=np.float32))
+        opt = Adam([w], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestSchedulers:
+    def test_cosine_annealing_endpoints(self):
+        opt = SGD([Parameter(np.ones(1))], lr=0.1)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.0)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs[0] < 0.1
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-9)
+        # Monotone decreasing over the horizon.
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_half_way(self):
+        opt = SGD([Parameter(np.ones(1))], lr=0.2)
+        sched = CosineAnnealingLR(opt, t_max=100)
+        for _ in range(50):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, rel=1e-6)
+
+    def test_step_lr(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        values = [sched.step() for _ in range(4)]
+        assert values == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_lambda_lr(self):
+        opt = SGD([Parameter(np.ones(1))], lr=2.0)
+        sched = LambdaLR(opt, lambda epoch: 1.0 / (epoch + 1))
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_invalid_horizon(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=0)

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the mathematical properties the whole reproduction hinges on:
+broadcasting-safe gradient accumulation, convolution linearity, exactness of
+the full-rank TT decomposition, equivalence of the PTT module and its merged
+dense kernel, binary spike outputs, and monotonicity of the compression
+formulas.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd.conv import conv2d
+from repro.autograd.tensor import Tensor
+from repro.snn.neurons import LIFNeuron
+from repro.tt.compression import dense_conv_params, tt_conv_params
+from repro.tt.decomposition import max_tt_ranks, tt_cores_to_dense, tt_decompose_conv
+from repro.tt.layers import PTTConv2d, STTConv2d
+from repro.tt.reconstruct import merge_tt_layer
+
+
+# Shared strategies ----------------------------------------------------------
+
+small_dims = st.integers(min_value=2, max_value=8)
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def _array(rng, *shape):
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+class TestAutogradProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, rows=small_dims, cols=small_dims)
+    def test_sum_gradient_is_ones(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        x = Tensor(_array(rng, rows, cols), requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((rows, cols)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, n=small_dims)
+    def test_addition_gradient_splits_equally(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = Tensor(_array(rng, n), requires_grad=True)
+        b = Tensor(_array(rng, n), requires_grad=True)
+        ((a + b) * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, b.grad)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, n=small_dims, m=small_dims)
+    def test_broadcast_gradient_shape_matches_leaf(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        a = Tensor(_array(rng, n, m), requires_grad=True)
+        b = Tensor(_array(rng, 1, m), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.shape == (n, m)
+        assert b.grad.shape == (1, m)
+
+
+class TestConvolutionProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, channels=st.integers(2, 5), size=st.integers(4, 9))
+    def test_convolution_is_linear_in_input(self, seed, channels, size):
+        """conv(a*x + b*y) == a*conv(x) + b*conv(y)."""
+        rng = np.random.default_rng(seed)
+        w = Tensor(_array(rng, 4, channels, 3, 3))
+        x = Tensor(_array(rng, 1, channels, size, size))
+        y = Tensor(_array(rng, 1, channels, size, size))
+        combined = conv2d(Tensor(2.0 * x.data + 3.0 * y.data), w, padding=1)
+        separate = 2.0 * conv2d(x, w, padding=1).data + 3.0 * conv2d(y, w, padding=1).data
+        np.testing.assert_allclose(combined.data, separate, rtol=1e-3, atol=1e-3)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, out_c=st.integers(2, 6))
+    def test_convolution_of_zero_input_is_zero(self, seed, out_c):
+        rng = np.random.default_rng(seed)
+        w = Tensor(_array(rng, out_c, 3, 3, 3))
+        x = Tensor(np.zeros((1, 3, 6, 6), dtype=np.float32))
+        assert np.all(conv2d(x, w, padding=1).data == 0)
+
+
+class TestTTProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=seeds, in_c=st.integers(2, 8), out_c=st.integers(2, 8))
+    def test_full_rank_decomposition_is_exact(self, seed, in_c, out_c):
+        rng = np.random.default_rng(seed)
+        w = _array(rng, out_c, in_c, 3, 3)
+        cores = tt_decompose_conv(w, rank=max_tt_ranks(in_c, out_c, (3, 3)))
+        np.testing.assert_allclose(tt_cores_to_dense(cores), w, atol=1e-3)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=seeds, in_c=st.integers(2, 8), out_c=st.integers(2, 8),
+           rank=st.integers(1, 6))
+    def test_truncation_error_bounded_by_one(self, seed, in_c, out_c, rank):
+        """The relative Frobenius error of a TT-SVD truncation never exceeds ~1."""
+        rng = np.random.default_rng(seed)
+        w = _array(rng, out_c, in_c, 3, 3)
+        cores = tt_decompose_conv(w, rank=rank)
+        assert 0.0 <= cores.relative_error <= 1.0 + 1e-6
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=seeds, in_c=st.integers(3, 8), out_c=st.integers(3, 8), rank=st.integers(1, 4))
+    def test_ptt_merge_equivalence_property(self, seed, in_c, out_c, rank):
+        """For any shape/rank, the merged dense kernel reproduces the PTT forward (stride 1)."""
+        rng = np.random.default_rng(seed)
+        layer = PTTConv2d(in_c, out_c, 3, rank=rank, rng=rng)
+        merged = merge_tt_layer(layer)
+        x = Tensor(_array(rng, 1, in_c, 7, 7))
+        np.testing.assert_allclose(layer(x).data, merged(x).data, atol=2e-4, rtol=1e-3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(in_c=st.integers(8, 256), out_c=st.integers(8, 256), rank=st.integers(1, 32))
+    def test_tt_params_fewer_than_dense_when_rank_small(self, in_c, out_c, rank):
+        """Whenever r < 3*I*O/(I+O+6r) the TT layer has fewer parameters; check the
+        paper's regime (rank well below the channel counts) always compresses."""
+        if rank * 4 > min(in_c, out_c):
+            return  # outside the compression regime the claim need not hold
+        dense = dense_conv_params(in_c, out_c, (3, 3))
+        tt = tt_conv_params(in_c, out_c, (3, 3), (rank, rank, rank))
+        assert tt < dense
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds, rank=st.integers(1, 4))
+    def test_stt_and_ptt_same_parameter_count(self, seed, rank):
+        rng = np.random.default_rng(seed)
+        stt = STTConv2d(6, 10, 3, rank=rank, rng=rng)
+        ptt = PTTConv2d(6, 10, 3, rank=rank, rng=rng)
+        assert stt.num_parameters() == ptt.num_parameters()
+
+
+class TestLIFProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds, tau=st.floats(0.05, 1.0), threshold=st.floats(0.1, 2.0))
+    def test_spikes_always_binary(self, seed, tau, threshold):
+        rng = np.random.default_rng(seed)
+        lif = LIFNeuron(tau_m=tau, v_threshold=threshold)
+        for _ in range(3):
+            spikes = lif(Tensor(_array(rng, 2, 6)))
+            assert set(np.unique(spikes.data)).issubset({0.0, 1.0})
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_hard_reset_membrane_below_threshold_after_spike(self, seed):
+        rng = np.random.default_rng(seed)
+        lif = LIFNeuron(tau_m=0.25, v_threshold=0.5, hard_reset=True)
+        spikes = lif(Tensor(np.abs(_array(rng, 1, 8)) + 0.6))     # everything spikes
+        assert np.all(spikes.data == 1.0)
+        assert np.all(lif.membrane_potential.data == 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(scale=st.floats(0.0, 0.36))
+    def test_never_spikes_below_threshold(self, scale):
+        lif = LIFNeuron(tau_m=0.25, v_threshold=0.5)
+        current = Tensor(np.full((1, 4), scale, dtype=np.float32))
+        total = 0.0
+        for _ in range(5):
+            total += float(lif(current).data.sum())
+        # Steady-state membrane = scale / (1 - tau_m) = scale / 0.75 <= 0.48,
+        # strictly below the 0.5 threshold, so no spike may ever fire.
+        assert total == 0.0

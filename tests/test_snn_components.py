@@ -1,0 +1,161 @@
+"""Tests for encoders, spiking norms (tdBN/TEBN), TET loss, NDA augmentation and spike stats."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.snn.augment import NeuromorphicAugment, random_cutout, random_flip, random_roll
+from repro.snn.encoding import DirectEncoder, EventFrameEncoder, PoissonEncoder
+from repro.snn.functional import firing_rate, reset_model_state, spike_count, spike_sparsity
+from repro.snn.loss import TETLoss, mean_output_cross_entropy
+from repro.snn.neurons import LIFNeuron
+from repro.snn.norm import TDBatchNorm2d, TEBatchNorm2d
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+
+
+class TestEncoders:
+    def test_direct_encoder_repeats(self, rng):
+        images = rng.random((2, 3, 4, 4)).astype(np.float32)
+        out = DirectEncoder(timesteps=4)(images)
+        assert out.shape == (4, 2, 3, 4, 4)
+        np.testing.assert_array_equal(out[0], out[3])
+
+    def test_direct_encoder_validates_shape(self):
+        with pytest.raises(ValueError):
+            DirectEncoder(4)(np.zeros((3, 4, 4)))
+
+    def test_poisson_encoder_rate_matches_intensity(self):
+        images = np.full((1, 1, 10, 10), 0.3, dtype=np.float32)
+        spikes = PoissonEncoder(timesteps=200, seed=0)(images)
+        assert spikes.mean() == pytest.approx(0.3, abs=0.03)
+        assert set(np.unique(spikes)).issubset({0.0, 1.0})
+
+    def test_event_encoder_truncates_and_pads(self, rng):
+        frames = rng.random((5, 2, 2, 4, 4)).astype(np.float32)
+        enc = EventFrameEncoder(timesteps=3)
+        assert enc(frames).shape[0] == 3
+        enc_long = EventFrameEncoder(timesteps=8)
+        assert enc_long(frames).shape[0] == 8
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            DirectEncoder(0)
+
+
+class TestSpikingNorms:
+    def test_tdbn_scales_by_threshold(self, rng):
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)).astype(np.float32))
+        tdbn = TDBatchNorm2d(4, v_threshold=0.5, alpha=1.0)
+        out = tdbn(x)
+        # Normalised then scaled by alpha * V_th = 0.5.
+        assert out.data.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_tdbn_rejects_non_4d(self):
+        with pytest.raises(ValueError):
+            TDBatchNorm2d(4)(Tensor(np.ones((2, 4))))
+
+    def test_tebn_advances_and_resets_time(self, rng):
+        tebn = TEBatchNorm2d(3, timesteps=2)
+        tebn.temporal_weight.data[:] = np.array([1.0, 0.5], dtype=np.float32)
+        x = Tensor(rng.standard_normal((4, 3, 4, 4)).astype(np.float32))
+        out_t0 = tebn(x)
+        out_t1 = tebn(x)
+        # Second timestep scaled by 0.5 relative to the first.
+        np.testing.assert_allclose(out_t1.data, 0.5 * out_t0.data, rtol=1e-4, atol=1e-5)
+        tebn.reset_time()
+        out_again = tebn(x)
+        np.testing.assert_allclose(out_again.data, out_t0.data, rtol=1e-4, atol=1e-5)
+
+    def test_tebn_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            TEBatchNorm2d(3, timesteps=0)
+
+
+class TestLosses:
+    def test_mean_output_cross_entropy_averages_timesteps(self):
+        good = Tensor(np.array([[5.0, -5.0]], dtype=np.float32))
+        outputs = [good, good, good]
+        loss = mean_output_cross_entropy(outputs, np.array([0]))
+        assert loss.data < 1e-3
+
+    def test_mean_output_requires_outputs(self):
+        with pytest.raises(ValueError):
+            mean_output_cross_entropy([], np.array([0]))
+
+    def test_tet_loss_interpolates(self):
+        outputs = [Tensor(np.array([[2.0, -2.0]], dtype=np.float32)) for _ in range(2)]
+        labels = np.array([0])
+        pure_ce = TETLoss(lamb=0.0)(outputs, labels)
+        mixed = TETLoss(lamb=0.5, target_value=0.5)(outputs, labels)
+        assert mixed.data != pytest.approx(float(pure_ce.data))
+        assert np.isfinite(mixed.data)
+
+    def test_tet_loss_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            TETLoss(lamb=1.5)
+
+    def test_tet_loss_backward(self):
+        logits = Tensor(np.array([[1.0, -1.0]], dtype=np.float32), requires_grad=True)
+        TETLoss(lamb=0.1)([logits], np.array([0])).backward()
+        assert logits.grad is not None
+
+
+class TestNDA:
+    def test_flip_preserves_shape_and_content_set(self, rng):
+        frames = rng.random((3, 1, 4, 4)).astype(np.float32)
+        flipped = random_flip(frames, np.random.default_rng(0), probability=1.0)
+        np.testing.assert_array_equal(flipped, frames[..., ::-1])
+
+    def test_roll_is_permutation(self, rng):
+        frames = rng.random((2, 1, 6, 6)).astype(np.float32)
+        rolled = random_roll(frames, np.random.default_rng(1), max_shift=2)
+        assert sorted(rolled.reshape(-1)) == pytest.approx(sorted(frames.reshape(-1)))
+
+    def test_cutout_zeroes_region(self, rng):
+        frames = np.ones((2, 1, 8, 8), dtype=np.float32)
+        cut = random_cutout(frames, np.random.default_rng(2), max_fraction=0.5)
+        assert cut.sum() < frames.sum()
+
+    def test_augment_policy_shapes(self, rng):
+        frames = rng.random((4, 3, 2, 8, 8)).astype(np.float32)   # (T, N, C, H, W)
+        augmented = NeuromorphicAugment(seed=0)(frames)
+        assert augmented.shape == frames.shape
+        single = NeuromorphicAugment(seed=0)(frames[:, 0])
+        assert single.shape == (4, 2, 8, 8)
+
+    def test_augment_is_consistent_across_timesteps(self):
+        """The same geometric transform must be applied to every timestep of a sample."""
+        frames = np.zeros((2, 1, 1, 8, 8), dtype=np.float32)
+        frames[:, :, :, 2, 2] = 1.0   # one event at the same place in both timesteps
+        augmented = NeuromorphicAugment(flip_probability=1.0, max_shift=3, cutout_fraction=0.0,
+                                        event_drop=0.0, seed=3)(frames)
+        positions = [tuple(np.argwhere(augmented[t, 0, 0] > 0)[0]) for t in range(2)]
+        assert positions[0] == positions[1]
+
+
+class TestSpikeStats:
+    def test_firing_rate_and_sparsity(self):
+        spikes = Tensor(np.array([[1.0, 0.0, 0.0, 1.0]]))
+        assert firing_rate(spikes) == pytest.approx(0.5)
+        assert spike_sparsity(spikes) == pytest.approx(0.5)
+        assert spike_count(spikes) == 2
+
+    def test_reset_model_state_resets_lif_and_tebn(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = Conv2d(1, 2, 3, padding=1)
+                self.lif = LIFNeuron()
+                self.tebn = TEBatchNorm2d(2, timesteps=2)
+
+            def forward(self, x):
+                return self.lif(self.tebn(self.conv(x)))
+
+        net = Net()
+        net(Tensor(np.random.default_rng(0).random((1, 1, 4, 4)).astype(np.float32)))
+        assert net.lif.membrane_potential is not None
+        assert net.tebn._t == 1
+        reset_model_state(net)
+        assert net.lif.membrane_potential is None
+        assert net.tebn._t == 0

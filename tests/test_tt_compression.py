@@ -1,0 +1,116 @@
+"""Tests for the analytical parameter / FLOP accounting, including the paper's headline ratios."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.flops import compression_report_from_specs, dense_model_macs, model_flops_table, tt_model_macs
+from repro.models.specs import resnet18_layer_specs, resnet34_layer_specs
+from repro.tt.compression import (
+    CompressionReport,
+    dense_conv_macs,
+    dense_conv_params,
+    tt_conv_macs,
+    tt_conv_params,
+    tt_half_path_macs,
+)
+from repro.tt.layers import PTTConv2d
+from repro.tt.ranks import PAPER_RANKS_RESNET18, PAPER_RANKS_RESNET34
+
+
+class TestLayerFormulas:
+    def test_dense_params(self):
+        assert dense_conv_params(64, 128, (3, 3)) == 64 * 128 * 9
+        assert dense_conv_params(64, 128, (3, 3), bias=True) == 64 * 128 * 9 + 128
+
+    def test_tt_params_matches_real_layer(self):
+        layer = PTTConv2d(32, 64, 3, rank=8)
+        assert tt_conv_params(32, 64, (3, 3), layer.ranks) == layer.num_parameters()
+
+    def test_dense_macs(self):
+        assert dense_conv_macs(3, 16, (3, 3), (32, 32)) == 16 * 3 * 9 * 1024
+
+    def test_tt_macs_stride_modes_agree_for_stride_one(self):
+        args = (64, 64, (3, 3), (8, 8, 8), (16, 16), (16, 16))
+        assert tt_conv_macs(*args, stride_mode="first") == tt_conv_macs(*args, stride_mode="last")
+
+    def test_tt_macs_stride_modes_differ_for_downsampling(self):
+        first = tt_conv_macs(64, 128, (3, 3), (8, 8, 8), (16, 16), (8, 8), stride_mode="first")
+        last = tt_conv_macs(64, 128, (3, 3), (8, 8, 8), (16, 16), (8, 8), stride_mode="last")
+        assert first < last
+
+    def test_half_path_cheaper_than_full(self):
+        full = tt_conv_macs(64, 64, (3, 3), (16, 16, 16), (8, 8), (8, 8))
+        half = tt_half_path_macs(64, 64, (16, 16, 16), (8, 8), (8, 8))
+        assert half < full
+
+    def test_invalid_stride_mode(self):
+        with pytest.raises(ValueError):
+            tt_conv_macs(4, 4, (3, 3), (2, 2, 2), (4, 4), (4, 4), stride_mode="center")
+
+
+class TestCompressionReport:
+    def test_report_accumulates(self):
+        report = CompressionReport()
+        report.add_layer("a", 100, 10, 1000, 100)
+        report.add_shared_layer("b", 50, 500)
+        assert report.dense_params == 150 and report.tt_params == 60
+        assert report.param_compression_ratio == pytest.approx(2.5)
+        assert len(report.per_layer) == 2
+        summary = report.summary()
+        assert summary["param_ratio"] == pytest.approx(2.5)
+
+
+class TestPaperScaleNumbers:
+    """The compression ratios reported in Table II, reproduced analytically."""
+
+    def test_resnet18_cifar_baseline_params_and_flops(self):
+        table = model_flops_table(resnet18_layer_specs(num_classes=10), PAPER_RANKS_RESNET18,
+                                  timesteps=4, half_timesteps_for_htt=2)
+        # Paper: 11.20 M parameters and 2.221 G ops for the ResNet-18 baseline.
+        assert table["baseline"]["params_M"] == pytest.approx(11.20, rel=0.02)
+        assert table["baseline"]["flops_G"] == pytest.approx(2.221, rel=0.02)
+
+    def test_resnet18_cifar_tt_ratios(self):
+        table = model_flops_table(resnet18_layer_specs(num_classes=10), PAPER_RANKS_RESNET18,
+                                  timesteps=4, half_timesteps_for_htt=2)
+        # Paper: 6.13x parameter and 5.97x FLOP reduction for STT/PTT on CIFAR-10.
+        assert table["ptt"]["param_ratio"] == pytest.approx(6.13, rel=0.15)
+        assert table["ptt"]["flops_G"] == pytest.approx(0.372, rel=0.05)
+        assert table["ptt"]["flops_ratio"] == pytest.approx(5.97, rel=0.05)
+        # HTT reduces FLOPs further (paper: 0.282 G, 7.88x).
+        assert table["htt"]["flops_G"] < table["ptt"]["flops_G"]
+        assert table["htt"]["flops_ratio"] == pytest.approx(7.88, rel=0.1)
+
+    def test_resnet34_ncaltech_ratios(self):
+        table = model_flops_table(resnet34_layer_specs(num_classes=101), PAPER_RANKS_RESNET34,
+                                  timesteps=6, half_timesteps_for_htt=2)
+        # Paper: 21.31 M / 15.65 G baseline; 7.98x params, 9.25x FLOPs; HTT 10.75x.
+        assert table["baseline"]["params_M"] == pytest.approx(21.31, rel=0.02)
+        assert table["baseline"]["flops_G"] == pytest.approx(15.65, rel=0.02)
+        assert table["ptt"]["param_ratio"] == pytest.approx(7.98, rel=0.05)
+        assert table["ptt"]["flops_ratio"] == pytest.approx(9.25, rel=0.05)
+        assert table["htt"]["flops_ratio"] == pytest.approx(10.75, rel=0.05)
+
+    def test_stt_and_ptt_have_identical_costs(self):
+        table = model_flops_table(resnet18_layer_specs(), PAPER_RANKS_RESNET18, timesteps=4)
+        assert table["stt"] == table["ptt"]
+
+
+class TestModelMacsHelpers:
+    def test_dense_model_macs_scales_with_timesteps(self):
+        specs = resnet18_layer_specs()
+        assert dense_model_macs(specs, 8) == 2 * dense_model_macs(specs, 4)
+
+    def test_tt_model_macs_decreases_with_half_timesteps(self):
+        specs = resnet18_layer_specs()
+        full = tt_model_macs(specs, PAPER_RANKS_RESNET18, timesteps=4, half_timesteps=0)
+        half = tt_model_macs(specs, PAPER_RANKS_RESNET18, timesteps=4, half_timesteps=2)
+        assert half < full
+
+    def test_tt_model_macs_validates_half_range(self):
+        with pytest.raises(ValueError):
+            tt_model_macs(resnet18_layer_specs(), 8, timesteps=4, half_timesteps=5)
+
+    def test_rank_list_too_short_raises(self):
+        with pytest.raises(IndexError):
+            tt_model_macs(resnet18_layer_specs(), [8, 8], timesteps=4)

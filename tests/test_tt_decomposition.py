@@ -1,0 +1,109 @@
+"""Tests for TT-SVD decomposition of convolution kernels (Eqs. 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.tt.decomposition import (
+    TTCores,
+    circular_permute_weight,
+    inverse_circular_permute_weight,
+    max_tt_ranks,
+    tt_cores_to_dense,
+    tt_decompose_conv,
+)
+
+
+class TestCircularPermute:
+    def test_permute_moves_output_axis_last(self, rng):
+        w = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        permuted = circular_permute_weight(w)
+        assert permuted.shape == (4, 3, 3, 8)
+        np.testing.assert_array_equal(permuted[1, 2, 0, 5], w[5, 1, 2, 0])
+
+    def test_inverse_round_trip(self, rng):
+        w = rng.standard_normal((6, 5, 3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(inverse_circular_permute_weight(circular_permute_weight(w)), w)
+
+    def test_rejects_wrong_rank_tensor(self):
+        with pytest.raises(ValueError):
+            circular_permute_weight(np.zeros((3, 3, 3)))
+
+
+class TestMaxRanks:
+    def test_limits(self):
+        r1, r2, r3 = max_tt_ranks(64, 128, (3, 3))
+        assert r1 == 64          # min(I, K*K*O)
+        assert r2 == 64 * 3      # min(I*K, K*O) = min(192, 384)
+        assert r3 == 128         # min(I*K*K, O)
+
+    def test_small_channels(self):
+        assert max_tt_ranks(4, 8, (3, 3)) == (4, 12, 8)
+
+
+class TestTTDecompose:
+    def test_full_rank_is_exact(self, rng):
+        w = rng.standard_normal((8, 6, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=max_tt_ranks(6, 8, (3, 3)))
+        assert cores.relative_error < 1e-5
+        np.testing.assert_allclose(tt_cores_to_dense(cores), w, atol=1e-4)
+
+    def test_core_shapes(self, rng):
+        w = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=5)
+        assert cores.w1.shape == (8, 5)
+        assert cores.w2.shape == (5, 3, 5)
+        assert cores.w3.shape == (5, 3, 5)
+        assert cores.w4.shape == (5, 16)
+        assert cores.ranks == (5, 5, 5)
+
+    def test_conv_weight_shapes(self, rng):
+        w = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=4)
+        c1, c2, c3, c4 = cores.conv_weights()
+        assert c1.shape == (4, 8, 1, 1)
+        assert c2.shape == (4, 4, 3, 1)
+        assert c3.shape == (4, 4, 1, 3)
+        assert c4.shape == (16, 4, 1, 1)
+
+    def test_error_decreases_with_rank(self, rng):
+        w = rng.standard_normal((16, 16, 3, 3)).astype(np.float32)
+        errors = [tt_decompose_conv(w, rank=r).relative_error for r in (2, 4, 8, 16)]
+        assert all(a >= b - 1e-7 for a, b in zip(errors, errors[1:]))
+
+    def test_low_rank_weight_recovered_exactly(self, rng):
+        """A kernel that truly has TT-rank r is reconstructed exactly with rank r."""
+        i, o, k, r = 8, 12, 3, 3
+        w1 = rng.standard_normal((i, r))
+        w2 = rng.standard_normal((r, k, r))
+        w3 = rng.standard_normal((r, k, r))
+        w4 = rng.standard_normal((r, o))
+        target = TTCores(w1=w1, w2=w2, w3=w3, w4=w4, ranks=(r, r, r))
+        dense = tt_cores_to_dense(target)
+        cores = tt_decompose_conv(dense, rank=r)
+        assert cores.relative_error < 1e-4
+
+    def test_rank_clipping(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=100)
+        assert cores.ranks[0] <= 4 and cores.ranks[2] <= 4
+
+    def test_num_parameters(self, rng):
+        w = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=4)
+        expected = 8 * 4 + 4 * 3 * 4 + 4 * 3 * 4 + 4 * 16
+        assert cores.num_parameters() == expected
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            tt_decompose_conv(np.zeros((4, 4, 3)), rank=2)
+        with pytest.raises(ValueError):
+            tt_decompose_conv(np.zeros((4, 4, 3, 3)), rank=0)
+        with pytest.raises(ValueError):
+            tt_decompose_conv(np.zeros((4, 4, 3, 3)), rank=(2, 2))
+
+    def test_properties(self, rng):
+        w = rng.standard_normal((10, 6, 3, 3)).astype(np.float32)
+        cores = tt_decompose_conv(w, rank=3)
+        assert cores.in_channels == 6
+        assert cores.out_channels == 10
+        assert cores.kernel_size == (3, 3)

@@ -1,0 +1,94 @@
+"""Tests for the EVBMF analytic rank estimator (Nakajima et al., 2013)."""
+
+import numpy as np
+import pytest
+
+from repro.tt.ranks import (
+    PAPER_RANKS_RESNET18,
+    PAPER_RANKS_RESNET34,
+    estimate_tt_rank_for_weight,
+    rank_for_layer,
+    scale_ranks,
+)
+from repro.tt.vbmf import estimate_rank, evbmf
+
+
+def low_rank_matrix(rows, cols, rank, noise, rng):
+    return (rng.standard_normal((rows, rank)) @ rng.standard_normal((rank, cols)) * 2.0
+            + noise * rng.standard_normal((rows, cols)))
+
+
+class TestEVBMF:
+    @pytest.mark.parametrize("true_rank,noise", [(3, 0.1), (5, 0.2), (10, 0.05)])
+    def test_recovers_planted_rank(self, rng, true_rank, noise):
+        matrix = low_rank_matrix(60, 90, true_rank, noise, rng)
+        assert evbmf(matrix).rank == true_rank
+
+    def test_transposed_input_gives_same_rank(self, rng):
+        matrix = low_rank_matrix(40, 80, 4, 0.1, rng)
+        assert evbmf(matrix).rank == evbmf(matrix.T).rank
+
+    def test_pure_noise_gives_low_rank(self, rng):
+        noise = rng.standard_normal((50, 60))
+        assert evbmf(noise).rank <= 3
+
+    def test_known_sigma2(self, rng):
+        matrix = low_rank_matrix(50, 70, 4, 0.1, rng)
+        result = evbmf(matrix, sigma2=0.01)
+        assert result.rank == 4
+        assert result.sigma2 == pytest.approx(0.01)
+
+    def test_reconstruction_shape(self, rng):
+        matrix = low_rank_matrix(30, 45, 3, 0.1, rng)
+        result = evbmf(matrix)
+        approx = result.u @ np.diag(result.s) @ result.v.T
+        assert approx.shape == matrix.shape
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            evbmf(np.zeros((3, 3, 3)))
+
+    def test_estimate_rank_bounds(self, rng):
+        matrix = rng.standard_normal((20, 20)) * 0.01
+        assert estimate_rank(matrix, min_rank=2) >= 2
+        full = low_rank_matrix(20, 20, 15, 0.01, rng)
+        assert estimate_rank(full, max_rank=5) <= 5
+
+
+class TestRankTables:
+    def test_paper_rank_counts(self):
+        # 16 decomposable convolutions in ResNet-18, 32 in ResNet-34.
+        assert len(PAPER_RANKS_RESNET18) == 16
+        assert len(PAPER_RANKS_RESNET34) == 32
+
+    def test_rank_for_layer_lookup(self):
+        assert rank_for_layer(0, "resnet18") == 24
+        assert rank_for_layer(15, "resnet18") == 145
+        assert rank_for_layer(31, "resnet34") == 108
+
+    def test_rank_for_layer_scaling(self):
+        assert rank_for_layer(0, "resnet18", scale=0.5) == 12
+        assert rank_for_layer(0, "resnet18", scale=0.001) == 1     # floored at 1
+
+    def test_rank_for_layer_errors(self):
+        with pytest.raises(KeyError):
+            rank_for_layer(0, "alexnet")
+        with pytest.raises(IndexError):
+            rank_for_layer(99, "resnet18")
+
+    def test_scale_ranks(self):
+        assert scale_ranks([10, 20], 0.5) == [5, 10]
+        with pytest.raises(ValueError):
+            scale_ranks([10], 0.0)
+
+    def test_estimate_tt_rank_for_weight_low_rank_kernel(self, rng):
+        """A conv kernel built from few outer products gets a small estimated rank."""
+        basis = rng.standard_normal((3, 16, 3, 3))
+        coeffs = rng.standard_normal((32, 3))
+        weight = np.einsum("or,rikl->oikl", coeffs, basis) + 0.01 * rng.standard_normal((32, 16, 3, 3))
+        rank = estimate_tt_rank_for_weight(weight)
+        assert 1 <= rank <= 6
+
+    def test_estimate_tt_rank_validates_shape(self):
+        with pytest.raises(ValueError):
+            estimate_tt_rank_for_weight(np.zeros((4, 4)))
