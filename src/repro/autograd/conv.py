@@ -20,10 +20,12 @@ from repro.autograd.tensor import Function, Tensor, as_tensor
 
 __all__ = [
     "conv2d",
+    "conv2d_channels_last",
     "conv2d_output_shape",
     "im2col",
     "col2im",
     "Conv2dFunction",
+    "ConvChannelsLastFunction",
 ]
 
 IntOrPair = Union[int, Tuple[int, int]]
@@ -66,22 +68,7 @@ def im2col(
     padding: IntOrPair = 0,
 ) -> np.ndarray:
     """Lower ``x (N, C, H, W)`` into column form ``(N, C*kh*kw, out_h*out_w)``."""
-    n, c, h, w = x.shape
-    kh, kw = kernel_hw
-    sh, sw = _pair(stride)
-    ph, pw = _pair(padding)
-    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
-
-    if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
-
-    # Strided view: (N, C, kh, kw, out_h, out_w)
-    stride_n, stride_c, stride_h, stride_w = x.strides
-    shape = (n, c, kh, kw, out_h, out_w)
-    strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = patches.reshape(n, c * kh * kw, out_h * out_w)
-    return np.ascontiguousarray(cols)
+    return _im2col_batched(x, kernel_hw, stride, padding)
 
 
 def col2im(
@@ -110,6 +97,36 @@ def col2im(
     return padded
 
 
+def _im2col_batched(
+    x: np.ndarray,
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Lower ``x (N, C, H, W)`` into batched columns ``(N, C*kh*kw, out_h*out_w)``.
+
+    The batched layout feeds :func:`numpy.matmul` broadcasting —
+    ``(O, K) @ (N, K, L) -> (N, O, L)`` — so the convolution output lands
+    directly in ``(N, O, ...)`` order with no transpose copy, and a
+    time-folded ``(T*N, ...)`` batch runs through one strided-BLAS call.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    # Strided view: (N, C, kh, kw, out_h, out_w)
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return patches.reshape(n, c * kh * kw, out_h * out_w)
+
+
 class Conv2dFunction(Function):
     """Differentiable 2-D convolution (cross-correlation, PyTorch convention).
 
@@ -118,6 +135,13 @@ class Conv2dFunction(Function):
     * ``x`` of shape ``(N, C_in, H, W)``
     * ``weight`` of shape ``(C_out, C_in, kH, kW)``
     * ``bias`` of shape ``(C_out,)`` or omitted (pass ``None`` beforehand).
+
+    Forward and both gradients are each one batched-GEMM over an im2col
+    lowering kept in ``(N, K, L)`` layout, so no pass needs a transpose copy
+    and cost scales with BLAS throughput even when the batch carries ``T``
+    folded timesteps (the fused step mode).  The stride-1 input gradient is
+    computed as a direct correlation with the flipped kernel, avoiding the
+    strided col2im scatter on the BPTT hot path.
     """
 
     def __init__(self, stride: IntOrPair = 1, padding: IntOrPair = 0):
@@ -141,32 +165,45 @@ class Conv2dFunction(Function):
             raise ValueError(f"input channels {c} do not match weight channels {in_c}")
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
 
-        cols = im2col(x, (kh, kw), self.stride, self.padding)  # (N, C*kh*kw, L)
-        w_mat = weight.reshape(out_c, -1)  # (O, C*kh*kw)
-        out = np.einsum("ok,nkl->nol", w_mat, cols, optimize=True)
-        out = out.reshape(n, out_c, out_h, out_w)
+        cols = _im2col_batched(x, (kh, kw), self.stride, self.padding)  # (N, K, L)
+        w_mat = weight.reshape(out_c, -1)                               # (O, K)
+        out = np.matmul(w_mat, cols).reshape(n, out_c, out_h, out_w)
         if bias is not None:
             out = out + bias.reshape(1, out_c, 1, 1)
 
         self._x_shape = x.shape
         self._cols = cols
         self._weight = weight
-        return out.astype(x.dtype)
+        return out.astype(x.dtype, copy=False)
 
     def backward(self, grad_output: np.ndarray):
         weight = self._weight
         out_c, in_c, kh, kw = weight.shape
         n = grad_output.shape[0]
-        grad_mat = grad_output.reshape(n, out_c, -1)  # (N, O, L)
+        grad_nol = grad_output.reshape(n, out_c, -1)                    # (N, O, L)
 
-        # dL/dW = sum_n grad (N,O,L) x cols (N, C*kh*kw, L)^T
-        grad_weight = np.einsum("nol,nkl->ok", grad_mat, self._cols, optimize=True)
+        # (N, O, L) @ (N, L, K) -> (N, O, K), reduced over the batch; the
+        # transposed operand stays a view (BLAS handles the stride).
+        grad_weight = np.matmul(grad_nol, self._cols.transpose(0, 2, 1)).sum(axis=0)
         grad_weight = grad_weight.reshape(weight.shape)
 
-        # dL/dx via col2im of W^T @ grad
-        w_mat = weight.reshape(out_c, -1)
-        grad_cols = np.einsum("ok,nol->nkl", w_mat, grad_mat, optimize=True)
-        grad_x = col2im(grad_cols, self._x_shape, (kh, kw), self.stride, self.padding)
+        sh, sw = self.stride
+        ph, pw = self.padding
+        if sh == 1 and sw == 1 and kh - 1 >= ph and kw - 1 >= pw:
+            # Stride-1 input gradient as a direct correlation: convolve the
+            # grad with the flipped, channel-transposed kernel.
+            w_flip = np.ascontiguousarray(
+                weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+            ).reshape(in_c, -1)                                         # (C, O*kh*kw)
+            g_cols = _im2col_batched(
+                grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw)
+            )                                                           # (N, O*kh*kw, H*W)
+            h, w = self._x_shape[2], self._x_shape[3]
+            grad_x = np.matmul(w_flip, g_cols).reshape(n, in_c, h, w)
+        else:
+            w_mat = weight.reshape(out_c, -1)
+            grad_cols = np.matmul(w_mat.T, grad_nol)                    # (N, K, L)
+            grad_x = col2im(grad_cols, self._x_shape, (kh, kw), self.stride, self.padding)
 
         if self._has_bias:
             grad_bias = grad_output.sum(axis=(0, 2, 3))
@@ -187,3 +224,164 @@ def conv2d(
     if bias is not None:
         return Conv2dFunction.apply(x, weight, as_tensor(bias), stride=stride, padding=padding)
     return Conv2dFunction.apply(x, weight, stride=stride, padding=padding)
+
+
+# ---------------------------------------------------------------------------
+# Channels-last (NHWC) convolution — the fused step-mode engine's layout
+# ---------------------------------------------------------------------------
+#
+# The fused engine keeps activations in ``(M, H, W, C)`` order (``M`` is the
+# time-folded batch ``T*N``).  On CPU this is the profitable layout: im2col
+# gathers copy C-contiguous runs instead of W-sized fragments, the forward
+# pass is ONE large ``(M*L, K) @ (K, O)`` GEMM whose output is already in
+# channels-last order (no transpose copies anywhere in forward or backward),
+# and 1x1 convolutions — the bulk of the TT sub-convolutions — reduce to a
+# plain matrix product with no gather at all.
+
+
+def _im2col_cl(
+    x: np.ndarray,
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Lower channels-last ``x (M, H, W, C)`` into ``(M*out_h*out_w, kh*kw*C)`` columns."""
+    m, h, w, c = x.shape
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)), mode="constant")
+
+    stride_m, stride_h, stride_w, stride_c = x.strides
+    shape = (m, out_h, out_w, kh, kw, c)
+    strides = (stride_m, stride_h * sh, stride_w * sw, stride_h, stride_w, stride_c)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return patches.reshape(m * out_h * out_w, kh * kw * c)
+
+
+def _col2im_cl(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_hw: Tuple[int, int],
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col_cl`: scatter-add columns back into an ``(M, H, W, C)`` image."""
+    m, h, w, c = input_shape
+    kh, kw = kernel_hw
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+
+    padded = np.zeros((m, h + 2 * ph, w + 2 * pw, c), dtype=cols.dtype)
+    cols_reshaped = cols.reshape(m, out_h, out_w, kh, kw, c)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, i:i_end:sh, j:j_end:sw, :] += cols_reshaped[:, :, :, i, j, :]
+    if ph or pw:
+        return padded[:, ph:ph + h, pw:pw + w, :]
+    return padded
+
+
+class ConvChannelsLastFunction(Function):
+    """Differentiable channels-last 2-D convolution (one GEMM per pass).
+
+    Inputs: ``x (M, H, W, C)`` and the ordinary ``weight (O, C, kH, kW)``
+    (shared with the NCHW path — the layout conversion of the small weight
+    tensor happens per call).  Output is ``(M, out_h, out_w, O)``.
+    """
+
+    def __init__(self, stride: IntOrPair = 1, padding: IntOrPair = 0):
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._cols: Optional[np.ndarray] = None
+        self._weight: Optional[np.ndarray] = None
+        self._is_1x1 = False
+        self._has_bias = False
+
+    def forward(self, *arrays: np.ndarray) -> np.ndarray:
+        if len(arrays) == 3:
+            x, weight, bias = arrays
+            self._has_bias = True
+        else:
+            x, weight = arrays
+            bias = None
+        out_c, in_c, kh, kw = weight.shape
+        m, h, w, c = x.shape
+        if c != in_c:
+            raise ValueError(f"input channels {c} do not match weight channels {in_c}")
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+
+        self._is_1x1 = (kh == 1 and kw == 1 and self.padding == (0, 0))
+        if self._is_1x1:
+            sh, sw = self.stride
+            view = x[:, ::sh, ::sw, :] if (sh, sw) != (1, 1) else x
+            cols = view.reshape(-1, c)          # no-copy for stride 1, gathered otherwise
+        else:
+            cols = _im2col_cl(x, (kh, kw), self.stride, self.padding)   # (M*L, kh*kw*C)
+        # Column order is (i, j, c): arrange the kernel matrix to match.
+        w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * in_c, out_c)
+        out = (cols @ w_mat).reshape(m, out_h, out_w, out_c)
+        if bias is not None:
+            out = out + bias
+
+        self._x_shape = x.shape
+        self._cols = cols
+        self._weight = weight
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_output: np.ndarray):
+        weight = self._weight
+        out_c, in_c, kh, kw = weight.shape
+        m, h, w, _ = self._x_shape
+        grad_flat = grad_output.reshape(-1, out_c)                      # (M*L, O)
+
+        # (K, M*L) @ (M*L, O): the transposed operand stays a BLAS view.
+        grad_w_mat = self._cols.T @ grad_flat                           # (kh*kw*C, O)
+        grad_weight = np.ascontiguousarray(
+            grad_w_mat.reshape(kh, kw, in_c, out_c).transpose(3, 2, 0, 1)
+        )
+
+        sh, sw = self.stride
+        ph, pw = self.padding
+        if self._is_1x1 and (sh, sw) == (1, 1):
+            grad_x = (grad_flat @ weight.reshape(out_c, in_c)).reshape(self._x_shape)
+        elif (sh, sw) == (1, 1) and kh - 1 >= ph and kw - 1 >= pw:
+            # Stride-1 input gradient as a direct correlation with the
+            # flipped kernel — another single GEMM on a gathered view.
+            w_flip = np.ascontiguousarray(
+                weight.transpose(2, 3, 0, 1)[::-1, ::-1]
+            ).reshape(kh * kw * out_c, in_c)                            # rows in (i, j, o) order
+            g_cols = _im2col_cl(grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw))
+            grad_x = (g_cols @ w_flip).reshape(self._x_shape)
+        else:
+            w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * in_c, out_c)
+            grad_cols = grad_flat @ w_mat.T                             # (M*L, kh*kw*C)
+            grad_x = _col2im_cl(grad_cols, self._x_shape, (kh, kw), self.stride, self.padding)
+
+        if self._has_bias:
+            grad_bias = grad_flat.sum(axis=0)
+            return grad_x, grad_weight, grad_bias
+        return grad_x, grad_weight
+
+
+def conv2d_channels_last(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntOrPair = 1,
+    padding: IntOrPair = 0,
+) -> Tensor:
+    """Functional channels-last convolution: ``(M, H, W, C) -> (M, oh, ow, O)``."""
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if bias is not None:
+        return ConvChannelsLastFunction.apply(x, weight, as_tensor(bias),
+                                              stride=stride, padding=padding)
+    return ConvChannelsLastFunction.apply(x, weight, stride=stride, padding=padding)

@@ -29,6 +29,9 @@ __all__ = [
     "avg_pool2d",
     "max_pool2d",
     "adaptive_avg_pool2d",
+    "avg_pool2d_cl",
+    "max_pool2d_cl",
+    "adaptive_avg_pool2d_cl",
     "pad2d",
     "one_hot",
 ]
@@ -161,8 +164,39 @@ class _AvgPool2dFunction(Function):
         return (grad_x,)
 
 
+def _window_max_first_wins(views):
+    """First-wins max + window-index map over kernel-position views.
+
+    ``views`` lists the slices of each kernel position in ``argmax`` order;
+    strict ``>`` keeps the earlier position on ties, matching
+    ``cols.argmax(axis)`` semantics — which matters because spike maps are
+    binary and tie constantly.  Shared by the NCHW and channels-last pools
+    so their tie-breaking can never diverge.
+    """
+    best = views[0].copy()
+    arg = np.zeros(best.shape, dtype=np.int8)
+    for k, candidate in enumerate(views[1:], start=1):
+        better = candidate > best
+        np.copyto(best, candidate, where=better)
+        np.copyto(arg, np.int8(k), where=better)
+    return best, arg
+
+
+def _window_max_scatter_grad(grad_views, grad_output, argmax):
+    """Scatter ``grad_output`` into the winning window position of each view."""
+    for k, view in enumerate(grad_views):
+        np.copyto(view, grad_output, where=(argmax == k))
+
+
 class _MaxPool2dFunction(Function):
-    """Max pooling with im2col lowering (argmax stored for backward)."""
+    """Max pooling with im2col lowering (argmax stored for backward).
+
+    Non-overlapping pools (stride == kernel, no padding, divisible sizes —
+    the ubiquitous 2x2/2 case) take a copy-free path built from strided
+    window views and a first-wins comparison tree; everything else falls back
+    to the general im2col lowering.  Tie-breaking matches ``argmax`` (first
+    window element wins), which matters because spike maps are binary.
+    """
 
     def __init__(self, kernel_size, stride=None, padding=0):
         self.kernel = _pair(kernel_size)
@@ -170,32 +204,160 @@ class _MaxPool2dFunction(Function):
         self.padding = _pair(padding)
         self._x_shape = None
         self._argmax = None
+        self._fast = False
+
+    def _window_views(self, x: np.ndarray):
+        """Yield the kernel-position slices ``x[:, :, i::kh, j::kw]`` in argmax order."""
+        kh, kw = self.kernel
+        for i in range(kh):
+            for j in range(kw):
+                yield x[:, :, i::kh, j::kw]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        kh, kw = self.kernel
+        self._fast = (
+            self.stride == self.kernel and self.padding == (0, 0)
+            and h % kh == 0 and w % kw == 0 and kh * kw > 1
+        )
+        if self._fast:
+            self._x_shape = x.shape
+            best, self._argmax = _window_max_first_wins(list(self._window_views(x)))
+            return best
+        return self._forward_general(x)
+
+    def _forward_general(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         kh, kw = self.kernel
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
         cols = im2col(x, (kh, kw), self.stride, self.padding)
         cols = cols.reshape(n, c, kh * kw, out_h * out_w)
         self._x_shape = x.shape
+        # One reduction pass: argmax, then gather the winners.
         self._argmax = cols.argmax(axis=2)
-        return cols.max(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype)
+        out = np.take_along_axis(cols, self._argmax[:, :, None, :], axis=2)
+        return out.reshape(n, c, out_h, out_w).astype(x.dtype, copy=False)
 
     def backward(self, grad_output: np.ndarray):
+        if self._fast:
+            grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
+            _window_max_scatter_grad(self._window_views(grad_x), grad_output, self._argmax)
+            return (grad_x,)
         from repro.autograd.conv import col2im
 
         n, c, h, w = self._x_shape
         kh, kw = self.kernel
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
         grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad_output.dtype)
-        flat_grad = grad_output.reshape(n, c, out_h * out_w)
-        n_idx, c_idx, l_idx = np.meshgrid(
-            np.arange(n), np.arange(c), np.arange(out_h * out_w), indexing="ij"
-        )
-        grad_cols[n_idx, c_idx, self._argmax, l_idx] = flat_grad
+        flat_grad = grad_output.reshape(n, c, 1, out_h * out_w)
+        np.put_along_axis(grad_cols, self._argmax[:, :, None, :], flat_grad, axis=2)
         grad_cols = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
-        grad_x = col2im(np.ascontiguousarray(grad_cols), self._x_shape, (kh, kw), self.stride, self.padding)
+        grad_x = col2im(grad_cols, self._x_shape, (kh, kw), self.stride, self.padding)
         return (grad_x,)
+
+
+class _ChannelsLastPoolBase(Function):
+    """Shared plumbing for channels-last pooling over ``(M, H, W, C)`` inputs.
+
+    The non-overlapping case (stride == kernel, no padding, divisible sizes —
+    every pool in the model zoo) runs on strided window views with
+    C-contiguous inner runs; anything else transposes to NCHW and delegates
+    to the general functions (correct, just slower).
+    """
+
+    def __init__(self, kernel_size, stride=None, padding=0):
+        self.kernel = _pair(kernel_size)
+        self.stride = _pair(stride if stride is not None else kernel_size)
+        self.padding = _pair(padding)
+        self._x_shape = None
+        self._fallback: Optional[Function] = None
+
+    def _is_fast(self, h: int, w: int) -> bool:
+        kh, kw = self.kernel
+        return (self.stride == self.kernel and self.padding == (0, 0)
+                and h % kh == 0 and w % kw == 0)
+
+    def _windows(self, x: np.ndarray):
+        """Kernel-position slices ``x[:, i::kh, j::kw, :]`` in (i, j) order."""
+        kh, kw = self.kernel
+        for i in range(kh):
+            for j in range(kw):
+                yield x[:, i::kh, j::kw, :]
+
+    def _fallback_forward(self, x: np.ndarray, cls) -> np.ndarray:
+        self._fallback = cls(self.kernel, self.stride, self.padding)
+        out = self._fallback.forward(np.ascontiguousarray(x.transpose(0, 3, 1, 2)))
+        return np.ascontiguousarray(out.transpose(0, 2, 3, 1))
+
+    def _fallback_backward(self, grad_output: np.ndarray):
+        (grad_nchw,) = self._fallback.backward(
+            np.ascontiguousarray(grad_output.transpose(0, 3, 1, 2))
+        )
+        return (np.ascontiguousarray(grad_nchw.transpose(0, 2, 3, 1)),)
+
+
+class _MaxPool2dCLFunction(_ChannelsLastPoolBase):
+    """Channels-last max pooling (first-wins ties, matching the NCHW path)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        m, h, w, c = x.shape
+        if not self._is_fast(h, w):
+            return self._fallback_forward(x, _MaxPool2dFunction)
+        self._x_shape = x.shape
+        best, self._argmax = _window_max_first_wins(list(self._windows(x)))
+        return best
+
+    def backward(self, grad_output: np.ndarray):
+        if self._fallback is not None:
+            return self._fallback_backward(grad_output)
+        grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
+        _window_max_scatter_grad(self._windows(grad_x), grad_output, self._argmax)
+        return (grad_x,)
+
+
+class _AvgPool2dCLFunction(_ChannelsLastPoolBase):
+    """Channels-last average pooling."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        m, h, w, c = x.shape
+        if not self._is_fast(h, w):
+            return self._fallback_forward(x, _AvgPool2dFunction)
+        kh, kw = self.kernel
+        self._x_shape = x.shape
+        windowed = x.reshape(m, h // kh, kh, w // kw, kw, c)
+        return windowed.mean(axis=(2, 4)).astype(x.dtype, copy=False)
+
+    def backward(self, grad_output: np.ndarray):
+        if self._fallback is not None:
+            return self._fallback_backward(grad_output)
+        m, h, w, c = self._x_shape
+        kh, kw = self.kernel
+        grad = grad_output / (kh * kw)
+        grad = np.broadcast_to(grad[:, :, None, :, None, :],
+                               (m, h // kh, kh, w // kw, kw, c))
+        return (grad.reshape(m, h, w, c),)
+
+
+def max_pool2d_cl(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:
+    """Channels-last 2-D max pooling over ``(M, H, W, C)``."""
+    return _MaxPool2dCLFunction.apply(as_tensor(x), kernel_size=kernel_size,
+                                      stride=stride, padding=padding)
+
+
+def avg_pool2d_cl(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:
+    """Channels-last 2-D average pooling over ``(M, H, W, C)``."""
+    return _AvgPool2dCLFunction.apply(as_tensor(x), kernel_size=kernel_size,
+                                      stride=stride, padding=padding)
+
+
+def adaptive_avg_pool2d_cl(x: Tensor, output_size: Union[int, Tuple[int, int]] = 1) -> Tensor:
+    """Channels-last adaptive average pooling (exact divisors only)."""
+    oh, ow = _pair(output_size)
+    x = as_tensor(x)
+    _, h, w, _ = x.shape
+    if h % oh or w % ow:
+        raise ValueError(f"adaptive_avg_pool2d requires divisible sizes, got {(h, w)} -> {(oh, ow)}")
+    return avg_pool2d_cl(x, kernel_size=(h // oh, w // ow), stride=(h // oh, w // ow))
 
 
 def avg_pool2d(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:

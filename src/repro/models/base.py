@@ -6,11 +6,25 @@ relying on the stateful LIF layers to carry membrane potentials between
 calls.  :meth:`SpikingModel.run_timesteps` wraps the timestep loop (resetting
 all state first) and returns the list of per-timestep logits, which is what
 the loss functions in :mod:`repro.snn.loss` consume.
+
+Two execution engines ("step modes") are available:
+
+* ``"single"`` — the reference engine: the whole network is replayed once per
+  timestep through a Python loop, rebuilding im2col buffers and the autograd
+  tape ``T`` times.
+* ``"fused"`` — the default engine: layer-by-layer propagation.  Each layer
+  consumes the whole ``(T, N, ...)`` sequence before the next layer runs;
+  stateless layers (conv/linear/pool/norm) fold the time axis into the batch
+  axis and execute once, and the LIF recurrence runs as one fused BPTT
+  autograd node (:meth:`repro.snn.neurons.LIFNeuron.forward_sequence`).
+
+Both engines produce the same logits and parameter gradients (to float32
+rounding); ``tests/test_step_modes.py`` asserts the equivalence at ``1e-5``.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -18,23 +32,63 @@ from repro.autograd.tensor import Tensor, as_tensor
 from repro.nn.module import Module
 from repro.snn.functional import reset_model_state
 
-__all__ = ["SpikingModel"]
+__all__ = ["SpikingModel", "STEP_MODES"]
+
+#: Valid execution engines for :meth:`SpikingModel.run_timesteps`.
+STEP_MODES = ("single", "fused")
 
 
 class SpikingModel(Module):
     """Common timestep-loop behaviour for spiking networks."""
 
-    def __init__(self, timesteps: int):
+    def __init__(self, timesteps: int, step_mode: str = "fused"):
         super().__init__()
         if timesteps < 1:
             raise ValueError(f"timesteps must be >= 1, got {timesteps}")
         self.timesteps = timesteps
+        self.step_mode = step_mode
+
+    # -- step mode ---------------------------------------------------------------
+
+    @property
+    def step_mode(self) -> str:
+        """Execution engine used by :meth:`run_timesteps` (``"single"`` / ``"fused"``)."""
+        return self._step_mode
+
+    @step_mode.setter
+    def step_mode(self, mode: str) -> None:
+        if mode not in STEP_MODES:
+            raise ValueError(f"step_mode must be one of {STEP_MODES}, got {mode!r}")
+        object.__setattr__(self, "_step_mode", mode)
+
+    def set_step_mode(self, mode: str) -> "SpikingModel":
+        """Select the execution engine; returns ``self`` for chaining."""
+        self.step_mode = mode
+        return self
+
+    # -- state -------------------------------------------------------------------
 
     def reset(self) -> None:
         """Reset all membrane potentials and temporal counters."""
         reset_model_state(self)
 
-    def run_timesteps(self, inputs: Union[np.ndarray, Tensor]) -> List[Tensor]:
+    # -- execution ---------------------------------------------------------------
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Map a ``(T, N, C, H, W)`` sequence to ``(T, N, num_classes)`` logits.
+
+        The zoo models override this with true layer-by-layer propagation;
+        this fallback replays :meth:`forward` per timestep so that any
+        subclass works in fused mode (at single-mode speed).
+        """
+        timesteps = x_seq.shape[0]
+        return Tensor.stack([self.forward(x_seq[t]) for t in range(timesteps)], axis=0)
+
+    def run_timesteps(
+        self,
+        inputs: Union[np.ndarray, Tensor],
+        step_mode: Optional[str] = None,
+    ) -> List[Tensor]:
         """Run the full simulation over a ``(T, N, C, H, W)`` input sequence.
 
         Static-image datasets pass the output of
@@ -42,7 +96,12 @@ class SpikingModel(Module):
         ``T`` times); event datasets pass genuinely different frames per
         timestep.  Returns one ``(N, num_classes)`` logits tensor per
         timestep.
+
+        ``step_mode`` overrides the model's configured engine for this call.
         """
+        mode = step_mode if step_mode is not None else self.step_mode
+        if mode not in STEP_MODES:
+            raise ValueError(f"step_mode must be one of {STEP_MODES}, got {mode!r}")
         if isinstance(inputs, Tensor):
             data = inputs.data
         else:
@@ -54,16 +113,20 @@ class SpikingModel(Module):
                 f"input provides {data.shape[0]} timesteps but the model needs {self.timesteps}"
             )
         self.reset()
+        if mode == "fused":
+            logits_seq = self.forward_sequence(as_tensor(data[: self.timesteps]))
+            return [logits_seq[t] for t in range(self.timesteps)]
         outputs: List[Tensor] = []
         for t in range(self.timesteps):
             outputs.append(self.forward(as_tensor(data[t])))
         return outputs
 
-    def predict(self, inputs: Union[np.ndarray, Tensor]) -> np.ndarray:
+    def predict(self, inputs: Union[np.ndarray, Tensor],
+                step_mode: Optional[str] = None) -> np.ndarray:
         """Class predictions from time-averaged logits (no gradient tracking)."""
         from repro.autograd.tensor import no_grad
 
         with no_grad():
-            outputs = self.run_timesteps(inputs)
+            outputs = self.run_timesteps(inputs, step_mode=step_mode)
             mean_logits = sum(o.data for o in outputs) / len(outputs)
         return np.argmax(mean_logits, axis=1)

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import BatchNorm2d, Conv2d, Identity, Sequential
-from repro.nn.module import Module
+from repro.nn.module import Module, sequence_forward
 from repro.snn.neurons import LIFNeuron
 from repro.snn.norm import TDBatchNorm2d, TEBatchNorm2d
 
@@ -68,6 +68,12 @@ class SpikingConvBlock(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.neuron(self.norm(self.conv(x)))
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused step-mode path: each stage consumes the whole ``(T, N, ...)`` sequence."""
+        out = sequence_forward(self.conv, x_seq)
+        out = sequence_forward(self.norm, out)
+        return sequence_forward(self.neuron, out)
 
 
 class MSBasicBlock(Module):
@@ -122,3 +128,11 @@ class MSBasicBlock(Module):
         out = self.bn2(self.conv2(out))
         out = out + self.shortcut(x)
         return self.neuron2(out)
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused step-mode path mirroring :meth:`forward` layer by layer."""
+        out = sequence_forward(self.conv1, x_seq)
+        out = sequence_forward(self.neuron1, sequence_forward(self.bn1, out))
+        out = sequence_forward(self.bn2, sequence_forward(self.conv2, out))
+        out = out + sequence_forward(self.shortcut, x_seq)
+        return sequence_forward(self.neuron2, out)

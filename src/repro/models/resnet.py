@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, Sequential
-from repro.nn.module import Module, ModuleList
+from repro.nn.module import Module, ModuleList, sequence_forward
 from repro.snn.neurons import LIFNeuron
 from repro.models.base import SpikingModel
 from repro.models.blocks import MSBasicBlock, make_norm
@@ -64,10 +64,11 @@ class SpikingResNet(SpikingModel):
         tau_m: float = 0.25,
         v_threshold: float = 0.5,
         surrogate: str = "rectangular",
+        step_mode: str = "fused",
         rng: Optional[np.random.Generator] = None,
         name: str = "resnet",
     ):
-        super().__init__(timesteps)
+        super().__init__(timesteps, step_mode=step_mode)
         if len(blocks_per_stage) != len(stage_widths):
             raise ValueError("blocks_per_stage and stage_widths must have the same length")
         self.name = name
@@ -114,6 +115,22 @@ class SpikingResNet(SpikingModel):
                 out = block(out)
         out = self.flatten(self.pool(out))
         return self.classifier(out)
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Layer-by-layer propagation of the whole ``(T, N, C, H, W)`` sequence.
+
+        Internally the fused engine runs channels-last — the input converts
+        to ``(T, N, H, W, C)`` once here, and the spatial axes vanish before
+        the classifier, so no conversion back is needed.
+        """
+        out = sequence_forward(self.stem_conv, x_seq.transpose(0, 1, 3, 4, 2))
+        out = sequence_forward(self.stem_neuron, sequence_forward(self.stem_norm, out))
+        for stage in self.stages:
+            for block in stage:
+                out = sequence_forward(block, out)
+        out = sequence_forward(self.pool, out)
+        out = sequence_forward(self.flatten, out)
+        return sequence_forward(self.classifier, out)
 
     # -- introspection used by the TT conversion ------------------------------
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import AdaptiveAvgPool2d, Conv2d, Flatten, Linear, MaxPool2d
-from repro.nn.module import ModuleList
+from repro.nn.module import ModuleList, sequence_forward
 from repro.models.base import SpikingModel
 from repro.models.blocks import SpikingConvBlock
 from repro.snn.neurons import LIFNeuron
@@ -44,10 +44,11 @@ class SpikingVGG(SpikingModel):
         tau_m: float = 0.25,
         v_threshold: float = 0.5,
         surrogate: str = "rectangular",
+        step_mode: str = "fused",
         rng: Optional[np.random.Generator] = None,
         name: str = "vgg",
     ):
-        super().__init__(timesteps)
+        super().__init__(timesteps, step_mode=step_mode)
         self.name = name
         self.num_classes = num_classes
         self.in_channels = in_channels
@@ -90,6 +91,24 @@ class SpikingVGG(SpikingModel):
             out = layer(out)
         out = self.flatten(self.pool(out))
         return self.classifier(out)
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Layer-by-layer propagation of the whole ``(T, N, C, H, W)`` sequence.
+
+        Internally the fused engine runs channels-last — the input converts
+        to ``(T, N, H, W, C)`` once here, and the spatial axes vanish before
+        the classifier, so no conversion back is needed.
+        """
+        out = x_seq.transpose(0, 1, 3, 4, 2)
+        for layer in self.features:
+            if isinstance(layer, MaxPool2d) and (out.shape[2] < 2 or out.shape[3] < 2):
+                # Same guard as forward(): skip pools once the spatial
+                # resolution is exhausted on scaled-down inputs.
+                continue
+            out = sequence_forward(layer, out)
+        out = sequence_forward(self.pool, out)
+        out = sequence_forward(self.flatten, out)
+        return sequence_forward(self.classifier, out)
 
     def decomposable_layer_names(self) -> List[str]:
         """All 3x3 convolutions except the stem (same policy as the ResNets)."""

@@ -7,7 +7,17 @@ layers, pooling, containers and weight initialisers.  Spiking-specific layers
 convolution variants (STT / PTT / HTT) live in :mod:`repro.tt.layers`.
 """
 
-from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.module import (
+    Module,
+    ModuleList,
+    Parameter,
+    SeqToBatch,
+    StatefulModule,
+    StatelessModule,
+    fold_time,
+    sequence_forward,
+    unfold_time,
+)
 from repro.nn.layers import (
     AdaptiveAvgPool2d,
     AvgPool2d,
@@ -28,6 +38,12 @@ __all__ = [
     "Module",
     "Parameter",
     "ModuleList",
+    "StatelessModule",
+    "StatefulModule",
+    "SeqToBatch",
+    "fold_time",
+    "unfold_time",
+    "sequence_forward",
     "Conv2d",
     "Linear",
     "BatchNorm2d",

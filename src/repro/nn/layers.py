@@ -13,15 +13,24 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.autograd import functional as F
-from repro.autograd.conv import conv2d, _pair, conv2d_output_shape
-from repro.autograd.tensor import Tensor
+from repro.autograd.conv import conv2d, conv2d_channels_last, _pair, conv2d_output_shape
+from repro.autograd.tensor import Function, Tensor
 from repro.nn import init
-from repro.nn.module import Module, Parameter
+from repro.nn.module import (
+    Module,
+    Parameter,
+    StatelessModule,
+    fold_time,
+    sequence_forward,
+    unfold_time,
+)
 
 __all__ = [
     "Conv2d",
     "Linear",
     "BatchNorm2d",
+    "BatchNormSequenceFunction",
+    "batch_norm_sequence",
     "AvgPool2d",
     "MaxPool2d",
     "AdaptiveAvgPool2d",
@@ -35,7 +44,7 @@ __all__ = [
 IntOrPair = Union[int, Tuple[int, int]]
 
 
-class Conv2d(Module):
+class Conv2d(StatelessModule):
     """2-D convolution layer (supports asymmetric kernels, e.g. 3x1 / 1x3).
 
     Parameters
@@ -83,6 +92,16 @@ class Conv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
+    def forward_channels_last(self, x: Tensor) -> Tensor:
+        """Apply the convolution to a folded channels-last ``(M, H, W, C)`` batch."""
+        return conv2d_channels_last(x, self.weight, self.bias,
+                                    stride=self.stride, padding=self.padding)
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused path over a channels-last ``(T, N, H, W, C)`` sequence."""
+        timesteps = x_seq.shape[0]
+        return unfold_time(self.forward_channels_last(fold_time(x_seq)), timesteps)
+
     def output_shape(self, input_hw: Tuple[int, int]) -> Tuple[int, int]:
         """Spatial output size for an ``(H, W)`` input."""
         return conv2d_output_shape(input_hw, self.kernel_size, self.stride, self.padding)
@@ -94,7 +113,7 @@ class Conv2d(Module):
         )
 
 
-class Linear(Module):
+class Linear(StatelessModule):
     """Fully-connected layer ``y = x W^T + b``."""
 
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
@@ -113,6 +132,107 @@ class Linear(Module):
 
     def extra_repr(self) -> str:
         return f"{self.in_features}, {self.out_features}, bias={self.bias is not None}"
+
+
+class BatchNormSequenceFunction(Function):
+    """Per-timestep batch normalisation over a 5-D sequence as ONE autograd node.
+
+    The fused step-mode engine normalises the whole sequence with a single
+    numpy forward and the analytic batch-norm backward, instead of the ~8
+    tape ops per timestep the composed expression would create.  Statistics
+    are per timestep over ``(N, H, W)``, exactly matching ``T`` single-step
+    batch-norm calls; ``gamma_scale`` folds the tdBN threshold rescaling
+    ``alpha * V_th`` into the affine transform.  ``channels_last`` selects
+    the engine's native ``(T, N, H, W, C)`` layout (``(T, N, C, H, W)``
+    otherwise).
+    """
+
+    def __init__(self, eps: float, training: bool,
+                 running_mean: Optional[np.ndarray] = None,
+                 running_var: Optional[np.ndarray] = None,
+                 gamma_scale: float = 1.0,
+                 channels_last: bool = False):
+        self.eps = eps
+        self.training = training
+        self.running_mean = running_mean
+        self.running_var = running_var
+        self.gamma_scale = gamma_scale
+        self.channels_last = channels_last
+        self.batch_mean: Optional[np.ndarray] = None   # (T, C), read by the layer
+        self.batch_var: Optional[np.ndarray] = None
+        self._xhat: Optional[np.ndarray] = None
+        self._inv_std: Optional[np.ndarray] = None
+        self._weight: Optional[np.ndarray] = None
+        self._affine = False
+
+    @property
+    def _axes(self):
+        return (1, 2, 3) if self.channels_last else (1, 3, 4)
+
+    def _param_shape(self):
+        # Broadcast shape of the per-channel parameters / running stats.
+        return (1, 1, 1, 1, -1) if self.channels_last else (1, 1, -1, 1, 1)
+
+    def forward(self, *arrays: np.ndarray) -> np.ndarray:
+        x = arrays[0]
+        if len(arrays) == 3:
+            self._affine = True
+            weight, bias = arrays[1], arrays[2]
+        else:
+            weight = bias = None
+        channels = x.shape[-1] if self.channels_last else x.shape[2]
+        if self.training:
+            mean = x.mean(axis=self._axes, keepdims=True)
+            centered = x - mean
+            var = np.mean(centered * centered, axis=self._axes, keepdims=True)
+            self.batch_mean = mean.reshape(x.shape[0], channels)
+            self.batch_var = var.reshape(x.shape[0], channels)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = centered
+            xhat *= inv_std
+        else:
+            mean = self.running_mean.reshape(self._param_shape())
+            var = self.running_var.reshape(self._param_shape())
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            xhat = x - mean
+            xhat *= inv_std
+        self._xhat = xhat
+        self._inv_std = inv_std
+        if weight is None:
+            return xhat.astype(x.dtype, copy=False)
+        self._weight = weight
+        out = xhat * (self.gamma_scale * weight.reshape(self._param_shape()))
+        out += bias.reshape(self._param_shape())
+        return out.astype(x.dtype, copy=False)
+
+    def backward(self, grad_output: np.ndarray):
+        xhat = self._xhat
+        inv_std = self._inv_std
+        param_axes = (0, 1, 2, 3) if self.channels_last else (0, 1, 3, 4)
+        if self._affine:
+            grad_weight = self.gamma_scale * (grad_output * xhat).sum(axis=param_axes)
+            grad_bias = grad_output.sum(axis=param_axes)
+            grad_xhat = grad_output * (self.gamma_scale * self._weight.reshape(self._param_shape()))
+        else:
+            grad_weight = grad_bias = None
+            grad_xhat = grad_output
+        if self.training:
+            # d x = inv_std * (g - mean(g) - xhat * mean(g * xhat)), means per
+            # timestep over (N, H, W) — the analytic gradient of normalising
+            # with batch statistics that themselves depend on x.
+            grad_mean = grad_xhat.mean(axis=self._axes, keepdims=True)
+            grad_proj = (grad_xhat * xhat).mean(axis=self._axes, keepdims=True)
+            if grad_xhat is grad_output:
+                grad_xhat = grad_xhat.copy()
+            grad_xhat -= grad_mean
+            grad_xhat -= xhat * grad_proj
+            grad_xhat *= inv_std
+            grad_x = grad_xhat
+        else:
+            grad_x = grad_xhat * inv_std
+        if self._affine:
+            return grad_x, grad_weight, grad_bias
+        return (grad_x,)
 
 
 class BatchNorm2d(Module):
@@ -165,11 +285,86 @@ class BatchNorm2d(Module):
             normalised = normalised * gamma + beta
         return normalised
 
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Normalise a channels-last ``(T, N, H, W, C)`` sequence per timestep.
+
+        Equivalent to calling :meth:`forward` once per timestep — statistics
+        are computed per timestep over ``(N, H, W)`` and the running buffers
+        receive the same ``T`` sequential momentum updates — but the whole
+        sequence runs as one fused autograd node
+        (:class:`BatchNormSequenceFunction`) instead of ``T`` separate
+        multi-op graphs.  The channels-last layout is the fused engine's
+        convention (see :mod:`repro.nn.module`).
+        """
+        return batch_norm_sequence(
+            x_seq,
+            self.weight if self.affine else None,
+            self.bias if self.affine else None,
+            eps=self.eps,
+            momentum=self.momentum,
+            training=self.training,
+            running_mean=self.running_mean.data,
+            running_var=self.running_var.data,
+            channels_last=True,
+        )
+
     def extra_repr(self) -> str:
         return f"{self.num_features}, eps={self.eps}, momentum={self.momentum}"
 
 
-class AvgPool2d(Module):
+def batch_norm_sequence(
+    x_seq: Tensor,
+    weight: Optional[Tensor],
+    bias: Optional[Tensor],
+    eps: float,
+    momentum: float,
+    training: bool,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    gamma_scale: float = 1.0,
+    channels_last: bool = False,
+) -> Tensor:
+    """Fused per-timestep batch norm over a 5-D time-major sequence.
+
+    Wires :class:`BatchNormSequenceFunction` into the autograd graph and
+    replays the ``T`` sequential momentum updates on the running buffers
+    (in place), exactly as ``T`` single-step calls would.
+    """
+    if x_seq.ndim != 5:
+        raise ValueError(f"expected a 5-D time-major sequence, got shape {x_seq.shape}")
+    channel_axis = -1 if channels_last else 2
+    if x_seq.shape[channel_axis] != running_mean.shape[0]:
+        layout = "(T, N, H, W, C)" if channels_last else "(T, N, C, H, W)"
+        raise ValueError(
+            f"sequence shape {x_seq.shape} has {x_seq.shape[channel_axis]} channels on the "
+            f"{layout} channel axis, but the norm layer has {running_mean.shape[0]}"
+        )
+    ctx = BatchNormSequenceFunction(
+        eps=eps, training=training, running_mean=running_mean, running_var=running_var,
+        gamma_scale=gamma_scale, channels_last=channels_last,
+    )
+    if weight is not None:
+        inputs = (x_seq, weight, bias)
+    else:
+        inputs = (x_seq,)
+    out_data = ctx.forward(*[t.data for t in inputs])
+    if training:
+        for t in range(x_seq.shape[0]):
+            running_mean[...] = (1 - momentum) * running_mean + momentum * ctx.batch_mean[t]
+            running_var[...] = (1 - momentum) * running_var + momentum * ctx.batch_var[t]
+
+    def backward(grad: np.ndarray) -> None:
+        grads = ctx.backward(np.asarray(grad))
+        for tensor, g in zip(inputs, grads):
+            if g is None:
+                continue
+            if tensor.requires_grad or tensor._prev:
+                tensor._accumulate_grad(g)
+
+    return Tensor._make(out_data, inputs, backward)
+
+
+class AvgPool2d(StatelessModule):
     """Average pooling layer."""
 
     def __init__(self, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None, padding: IntOrPair = 0):
@@ -181,8 +376,15 @@ class AvgPool2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
 
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused path over a channels-last ``(T, N, H, W, C)`` sequence."""
+        timesteps = x_seq.shape[0]
+        folded = fold_time(x_seq)
+        return unfold_time(F.avg_pool2d_cl(folded, self.kernel_size, self.stride, self.padding),
+                           timesteps)
 
-class MaxPool2d(Module):
+
+class MaxPool2d(StatelessModule):
     """Max pooling layer."""
 
     def __init__(self, kernel_size: IntOrPair, stride: Optional[IntOrPair] = None, padding: IntOrPair = 0):
@@ -194,8 +396,15 @@ class MaxPool2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
 
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused path over a channels-last ``(T, N, H, W, C)`` sequence."""
+        timesteps = x_seq.shape[0]
+        folded = fold_time(x_seq)
+        return unfold_time(F.max_pool2d_cl(folded, self.kernel_size, self.stride, self.padding),
+                           timesteps)
 
-class AdaptiveAvgPool2d(Module):
+
+class AdaptiveAvgPool2d(StatelessModule):
     """Adaptive average pooling to a fixed output size (typically 1x1)."""
 
     def __init__(self, output_size: IntOrPair = 1):
@@ -205,9 +414,21 @@ class AdaptiveAvgPool2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.adaptive_avg_pool2d(x, self.output_size)
 
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused path over a channels-last ``(T, N, H, W, C)`` sequence."""
+        timesteps = x_seq.shape[0]
+        return unfold_time(F.adaptive_avg_pool2d_cl(fold_time(x_seq), self.output_size),
+                           timesteps)
 
-class Dropout(Module):
-    """Inverted dropout (active only in training mode)."""
+
+class Dropout(StatelessModule):
+    """Inverted dropout (active only in training mode).
+
+    In fused step mode the mask is drawn once over the folded ``(T*N, ...)``
+    batch instead of once per timestep; both are valid i.i.d. dropout but the
+    realisations differ, so dropout layers are excluded from the bit-level
+    single/fused equivalence guarantee.
+    """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
         super().__init__()
@@ -221,21 +442,21 @@ class Dropout(Module):
         return f"p={self.p}"
 
 
-class Flatten(Module):
+class Flatten(StatelessModule):
     """Flatten all dimensions after the batch dimension."""
 
     def forward(self, x: Tensor) -> Tensor:
         return x.reshape(x.shape[0], -1)
 
 
-class Identity(Module):
+class Identity(StatelessModule):
     """No-op layer (used for non-downsampling residual shortcuts)."""
 
     def forward(self, x: Tensor) -> Tensor:
         return x
 
 
-class ReLU(Module):
+class ReLU(StatelessModule):
     """ReLU activation (kept for ANN baselines; SNN paths use LIF neurons)."""
 
     def forward(self, x: Tensor) -> Tensor:
@@ -273,3 +494,9 @@ class Sequential(Module):
         for name in self._order:
             x = self._modules[name](x)
         return x
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Propagate a ``(T, N, ...)`` sequence layer by layer through the children."""
+        for name in self._order:
+            x_seq = sequence_forward(self._modules[name], x_seq)
+        return x_seq

@@ -15,7 +15,17 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 
-__all__ = ["Parameter", "Module", "ModuleList"]
+__all__ = [
+    "Parameter",
+    "Module",
+    "ModuleList",
+    "StatelessModule",
+    "StatefulModule",
+    "SeqToBatch",
+    "fold_time",
+    "unfold_time",
+    "sequence_forward",
+]
 
 
 class Parameter(Tensor):
@@ -190,6 +200,134 @@ class Module:
             lines.extend(f"  {line}" for line in child_repr[1:])
         lines.append(")")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Step-mode execution: folding timesteps into the batch for stateless layers
+# ---------------------------------------------------------------------------
+#
+# A spiking network simulated for ``T`` timesteps only has *true* sequential
+# dependencies inside its stateful layers (the LIF membrane recurrence and
+# anything keeping a timestep counter).  Every stateless layer — convolution,
+# linear, pooling, reshaping — applies the identical function at every
+# timestep, so its ``T`` per-step calls can be fused into ONE call on a
+# ``(T*N, ...)`` batch.  That turns ``T x depth`` small GEMMs into ``depth``
+# large ones and shrinks the autograd tape by the same factor.
+#
+# The pieces:
+#
+# * :func:`fold_time` / :func:`unfold_time` — the ``(T, N, ...) <-> (T*N, ...)``
+#   reshapes (differentiable, zero-copy on contiguous data).
+# * :class:`StatelessModule` — mixin giving a layer a ``forward_sequence`` that
+#   folds time into the batch around its ordinary ``forward``.
+# * :class:`StatefulModule` — marker base class for layers that carry state
+#   across timesteps; they must implement ``forward_sequence`` themselves.
+# * :class:`SeqToBatch` — adapter wrapping an arbitrary stateless module (e.g.
+#   third-party layers that cannot inherit ``StatelessModule``).
+# * :func:`sequence_forward` — dispatcher used by the models' layer-by-layer
+#   propagation: fused path when the layer supports it, per-step fallback
+#   otherwise.
+#
+# Layout convention: inside the zoo models' fused pipelines, image sequences
+# flow CHANNELS-LAST — ``(T, N, H, W, C)`` — which is the profitable layout
+# for the NumPy/BLAS backend (C-contiguous im2col gathers, transpose-free
+# GEMMs).  The models convert from the public ``(T, N, C, H, W)`` layout once
+# at the pipeline entry; convolution/norm/pool layers provide channels-last
+# ``forward_sequence`` implementations, while elementwise layers (LIF,
+# activations, dropout) are layout-agnostic.  The generic
+# :class:`StatelessModule` fold is only layout-safe for such elementwise
+# modules — channel-sensitive layers override ``forward_sequence``.
+
+
+def fold_time(x_seq: Tensor) -> Tensor:
+    """Reshape a time-major sequence ``(T, N, ...)`` into a ``(T*N, ...)`` batch."""
+    shape = x_seq.shape
+    if len(shape) < 2:
+        raise ValueError(f"expected at least (T, N) dimensions, got shape {shape}")
+    return x_seq.reshape((shape[0] * shape[1],) + shape[2:])
+
+
+def unfold_time(x: Tensor, timesteps: int) -> Tensor:
+    """Reshape a folded ``(T*N, ...)`` batch back into ``(T, N, ...)``."""
+    shape = x.shape
+    if timesteps < 1 or shape[0] % timesteps != 0:
+        raise ValueError(
+            f"folded batch of {shape[0]} rows is not divisible into {timesteps} timesteps"
+        )
+    return x.reshape((timesteps, shape[0] // timesteps) + shape[1:])
+
+
+class StatelessModule(Module):
+    """A layer whose computation is identical at every timestep.
+
+    Stateless layers process a whole ``(T, N, ...)`` sequence in one fused
+    call by folding the time axis into the batch axis; subclasses only
+    implement the ordinary single-step :meth:`forward`.
+    """
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Apply :meth:`forward` to all timesteps at once via batch folding."""
+        timesteps = x_seq.shape[0]
+        return unfold_time(self.forward(fold_time(x_seq)), timesteps)
+
+
+class StatefulModule(Module):
+    """A layer that carries state between timesteps (membrane, counters).
+
+    Subclasses must provide a :meth:`forward_sequence` consuming the whole
+    ``(T, N, ...)`` sequence — the time recurrence cannot be folded into the
+    batch, but it *can* be implemented as a single fused op over time (see
+    :meth:`repro.snn.neurons.LIFNeuron.forward_sequence`).
+    """
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError(
+            f"{self.__class__.__name__} is stateful and must implement forward_sequence"
+        )
+
+
+class SeqToBatch(Module):
+    """Adapter running an arbitrary stateless module over a folded sequence.
+
+    Wraps ``inner`` so that ``forward`` accepts ``(T, N, ...)`` input,
+    reshapes it to ``(T*N, ...)``, applies ``inner`` once, and restores the
+    time axis.  Use it to drop modules that do not inherit
+    :class:`StatelessModule` into a fused layer-by-layer pipeline.  The
+    wrapped module must genuinely be stateless — a stateful module would see
+    all timesteps as one batch and silently compute the wrong recurrence.
+    """
+
+    def __init__(self, inner: Module):
+        super().__init__()
+        self.inner = inner
+
+    def forward(self, x_seq: Tensor) -> Tensor:
+        timesteps = x_seq.shape[0]
+        return unfold_time(self.inner(fold_time(x_seq)), timesteps)
+
+    # The adapter's forward already consumes sequences.
+    forward_sequence = forward
+
+    def extra_repr(self) -> str:
+        return f"inner={self.inner.__class__.__name__}"
+
+
+def sequence_forward(module: Module, x_seq: Tensor) -> Tensor:
+    """Run ``module`` over a ``(T, N, ...)`` sequence, fused when possible.
+
+    Layers exposing ``forward_sequence`` (stateless fold, vectorised norm,
+    fused LIF recurrence, schedule-aware TT) take the fast path; anything
+    else falls back to a per-timestep loop.  The fallback preserves
+    per-step semantics but NOT layout: inside a channels-last pipeline
+    (the zoo models' fused path) it hands the module ``(N, H, W, C)``
+    frames, which is only safe for elementwise / layout-agnostic modules —
+    channel-sensitive layers must implement ``forward_sequence``.
+    """
+    forward_seq = getattr(module, "forward_sequence", None)
+    if callable(forward_seq):
+        return forward_seq(x_seq)
+    timesteps = x_seq.shape[0]
+    return Tensor.stack([module(x_seq[t]) for t in range(timesteps)], axis=0)
 
 
 class ModuleList(Module):

@@ -21,9 +21,10 @@ from repro.snn.neurons import (
     SurrogateArctan,
     SurrogateRectangular,
     SurrogateSigmoid,
+    lif_sequence,
     spike_function,
 )
-from repro.snn.encoding import DirectEncoder, PoissonEncoder, RepeatEncoder
+from repro.snn.encoding import DirectEncoder, PoissonEncoder, RepeatEncoder, encode_batch
 from repro.snn.norm import TDBatchNorm2d, TEBatchNorm2d
 from repro.snn.loss import TETLoss, mean_output_cross_entropy
 from repro.snn.augment import NeuromorphicAugment
@@ -36,6 +37,8 @@ __all__ = [
     "SurrogateArctan",
     "SurrogateSigmoid",
     "spike_function",
+    "lif_sequence",
+    "encode_batch",
     "DirectEncoder",
     "PoissonEncoder",
     "RepeatEncoder",

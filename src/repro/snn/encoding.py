@@ -16,7 +16,13 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor
 
-__all__ = ["DirectEncoder", "RepeatEncoder", "PoissonEncoder", "EventFrameEncoder"]
+__all__ = [
+    "DirectEncoder",
+    "RepeatEncoder",
+    "PoissonEncoder",
+    "EventFrameEncoder",
+    "encode_batch",
+]
 
 
 class DirectEncoder:
@@ -43,6 +49,23 @@ class DirectEncoder:
 # code can express intent (RepeatEncoder) or match the paper's wording
 # (DirectEncoder) interchangeably.
 RepeatEncoder = DirectEncoder
+
+
+def encode_batch(data: np.ndarray, timesteps: int) -> np.ndarray:
+    """Shape one training batch for the timestep engines.
+
+    Static ``(N, C, H, W)`` images are direct-coded (repeated ``T`` times);
+    ``(T', N, C, H, W)`` event sequences are truncated or padded (by tiling
+    the last frame) to exactly ``timesteps`` frames.  Returns a contiguous
+    ``(T, N, C, H, W)`` array, which both the single-step loop and the fused
+    batch-folding engine consume directly.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim == 4:
+        return DirectEncoder(timesteps)(data)
+    if data.ndim == 5:
+        return EventFrameEncoder(timesteps)(data)
+    raise ValueError(f"unsupported batch shape {data.shape}")
 
 
 class PoissonEncoder:

@@ -24,13 +24,14 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Function, Tensor, as_tensor
-from repro.nn.module import Module
+from repro.nn.module import StatefulModule
 
 __all__ = [
     "SurrogateRectangular",
     "SurrogateArctan",
     "SurrogateSigmoid",
     "spike_function",
+    "lif_sequence",
     "LIFState",
     "LIFNeuron",
 ]
@@ -118,6 +119,119 @@ def spike_function(pre_activation: Tensor, surrogate: Optional[SurrogateBase] = 
     return _SurrogateSpike.apply(as_tensor(pre_activation), surrogate=surrogate)
 
 
+class _FusedLIFSequence(Function):
+    """The full ``T``-step LIF recurrence as ONE autograd node.
+
+    Consumes the whole pre-activation sequence ``(T, N, ...)`` and emits the
+    spike sequence of the same shape.  The forward pass iterates the membrane
+    update on raw ndarrays (no per-step graph nodes); the backward pass
+    implements the surrogate-gradient BPTT recurrence explicitly:
+
+    .. math::
+
+        \\frac{\\partial L}{\\partial m_t} =
+            \\frac{\\partial L}{\\partial s_t}\\, g_t
+            + \\frac{\\partial L}{\\partial p_t}\\, \\frac{\\partial p_t}{\\partial m_t},
+        \\qquad
+        \\frac{\\partial L}{\\partial p_{t-1}} = \\tau_m \\frac{\\partial L}{\\partial m_t}
+
+    where ``m_t`` is the pre-reset membrane, ``s_t`` the spike, ``p_t`` the
+    post-reset membrane and ``g_t`` the surrogate derivative at
+    ``m_t - V_th``.  This produces gradients identical to backpropagating
+    through the ``T`` per-step tape nodes of the single-step path.
+    """
+
+    def __init__(
+        self,
+        tau_m: float,
+        v_threshold: float,
+        surrogate: "SurrogateBase",
+        hard_reset: bool,
+        detach_reset: bool,
+        initial_membrane: Optional[np.ndarray] = None,
+    ):
+        self.tau_m = tau_m
+        self.v_threshold = v_threshold
+        self.surrogate = surrogate
+        self.hard_reset = hard_reset
+        self.detach_reset = detach_reset
+        self.initial_membrane = initial_membrane
+        self._membranes: Optional[np.ndarray] = None   # pre-reset m_t, (T, N, ...)
+        self._spikes: Optional[np.ndarray] = None
+        self.final_membrane: Optional[np.ndarray] = None
+
+    def forward(self, currents: np.ndarray) -> np.ndarray:
+        timesteps = currents.shape[0]
+        membranes = np.empty_like(currents)
+        spikes = np.empty_like(currents)
+        post = np.empty_like(currents[0])
+        scratch = np.empty_like(currents[0])
+        if self.initial_membrane is None:
+            np.copyto(post, 0.0)
+        else:
+            np.copyto(post, self.initial_membrane)
+        for t in range(timesteps):
+            membrane = membranes[t]
+            np.multiply(post, self.tau_m, out=membrane)
+            membrane += currents[t]
+            spike = spikes[t]
+            np.greater_equal(membrane, self.v_threshold, out=spike, casting="unsafe")
+            if self.hard_reset:
+                np.subtract(1.0, spike, out=scratch)
+                np.multiply(membrane, scratch, out=post)
+            else:
+                np.multiply(spike, self.v_threshold, out=scratch)
+                np.subtract(membrane, scratch, out=post)
+        self._membranes = membranes
+        self._spikes = spikes
+        self.final_membrane = post
+        return spikes
+
+    def backward(self, grad_output: np.ndarray):
+        membranes = self._membranes
+        spikes = self._spikes
+        timesteps = grad_output.shape[0]
+        grad_input = np.empty_like(grad_output)
+        grad_post = np.zeros_like(grad_output[0])      # dL/dp_t flowing from t+1
+        scratch = np.empty_like(grad_post)
+        for t in range(timesteps - 1, -1, -1):
+            membrane = membranes[t]
+            grad_spike = grad_output[t]
+            if not self.detach_reset:
+                if self.hard_reset:
+                    grad_spike = grad_spike - grad_post * membrane
+                else:
+                    grad_spike = grad_spike - grad_post * self.v_threshold
+            surrogate_grad = self.surrogate.derivative(membrane - self.v_threshold)
+            grad_membrane = grad_input[t]
+            np.multiply(grad_spike, surrogate_grad, out=grad_membrane)
+            if self.hard_reset:
+                np.subtract(1.0, spikes[t], out=scratch)
+                scratch *= grad_post
+                grad_membrane += scratch
+            else:
+                grad_membrane += grad_post
+            np.multiply(grad_membrane, self.tau_m, out=grad_post)
+        return (grad_input,)
+
+
+def lif_sequence(
+    currents: Tensor,
+    tau_m: float = 0.25,
+    v_threshold: float = 0.5,
+    surrogate: Optional[SurrogateBase] = None,
+    hard_reset: bool = True,
+    detach_reset: bool = True,
+    initial_membrane: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Functional fused LIF: ``(T, N, ...)`` currents -> ``(T, N, ...)`` spikes."""
+    surrogate = surrogate or SurrogateRectangular()
+    return _FusedLIFSequence.apply(
+        as_tensor(currents), tau_m=tau_m, v_threshold=v_threshold, surrogate=surrogate,
+        hard_reset=hard_reset, detach_reset=detach_reset, initial_membrane=initial_membrane,
+    )
+
+
 @dataclass
 class LIFState:
     """Membrane state carried between timesteps of one LIF layer."""
@@ -128,7 +242,7 @@ class LIFState:
         self.membrane = None
 
 
-class LIFNeuron(Module):
+class LIFNeuron(StatefulModule):
     """Iterative LIF neuron layer (Eq. 1 of the paper).
 
     Parameters
@@ -195,6 +309,39 @@ class LIFNeuron(Module):
         else:
             next_membrane = membrane - reset_signal * self.v_threshold
         self.state.membrane = next_membrane
+        return spikes
+
+    def forward_sequence(self, currents: Tensor) -> Tensor:
+        """Integrate a whole ``(T, N, ...)`` pre-activation sequence at once.
+
+        Implements the same recurrence (and the same surrogate-gradient BPTT)
+        as ``T`` successive :meth:`forward` calls, but as a single fused
+        autograd node — the hot path of the ``"fused"`` step mode.  Any
+        membrane potential carried over from a previous call enters the
+        recurrence as a constant (the graph does not extend across
+        ``forward_sequence`` calls); call :meth:`reset_state` between input
+        sequences exactly as with the single-step path.
+        """
+        currents = as_tensor(currents)
+        initial = None
+        if self.state.membrane is not None:
+            initial = self.state.membrane.data
+        ctx = _FusedLIFSequence(
+            tau_m=self.tau_m, v_threshold=self.v_threshold, surrogate=self.surrogate,
+            hard_reset=self.hard_reset, detach_reset=self.detach_reset,
+            initial_membrane=initial,
+        )
+        out_data = ctx.forward(currents.data)
+
+        def backward(grad: np.ndarray) -> None:
+            (grad_input,) = ctx.backward(np.asarray(grad))
+            if currents.requires_grad or currents._prev:
+                currents._accumulate_grad(grad_input)
+
+        spikes = Tensor._make(out_data, (currents,), backward)
+        # Expose the final membrane for observability (detached, like the data
+        # any caller would read after the sequence).
+        self.state.membrane = Tensor(ctx.final_membrane)
         return spikes
 
     @property

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn import init
-from repro.nn.layers import BatchNorm2d
+from repro.nn.layers import BatchNorm2d, batch_norm_sequence
 from repro.nn.module import Module, Parameter
 
 __all__ = ["TDBatchNorm2d", "TEBatchNorm2d"]
@@ -82,6 +82,22 @@ class TDBatchNorm2d(Module):
         beta = self.bias.reshape(1, -1, 1, 1)
         return normalised * gamma + beta
 
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused per-timestep tdBN over a channels-last ``(T, N, H, W, C)`` sequence.
+
+        Matches ``T`` successive :meth:`forward` calls exactly (statistics per
+        timestep, sequential running-buffer updates, threshold rescaling) as
+        one fused autograd node; the ``alpha * V_th`` rescaling folds into
+        the affine transform via ``gamma_scale``.
+        """
+        return batch_norm_sequence(
+            x_seq, self.weight, self.bias,
+            eps=self.eps, momentum=self.momentum, training=self.training,
+            running_mean=self.running_mean.data, running_var=self.running_var.data,
+            gamma_scale=self.alpha * self.v_threshold,
+            channels_last=True,
+        )
+
     def extra_repr(self) -> str:
         return f"{self.num_features}, v_th={self.v_threshold}, alpha={self.alpha}"
 
@@ -115,6 +131,28 @@ class TEBatchNorm2d(Module):
         scale = self.temporal_weight[min(self._t, self.timesteps - 1)]
         self._t += 1
         return self.bn(x) * scale.reshape(1, 1, 1, 1)
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Vectorised TEBN over a channels-last ``(T, N, H, W, C)`` sequence.
+
+        Applies the shared batch norm with per-timestep statistics, then one
+        learnable gain per timestep — equivalent to ``T`` counter-driven
+        :meth:`forward` calls starting from ``t = 0``.  Like the other norm
+        layers, the fused path uses the engine's channels-last layout
+        (see :mod:`repro.nn.module`); :meth:`forward` keeps ``(N, C, H, W)``.
+        """
+        if x_seq.ndim != 5:
+            raise ValueError(f"expected (T, N, H, W, C) sequence, got {x_seq.shape}")
+        if x_seq.shape[-1] != self.num_features:
+            raise ValueError(
+                f"channels-last sequence has {x_seq.shape[-1]} channels in the last axis, "
+                f"expected {self.num_features} — the fused engine is channels-last"
+            )
+        timesteps = x_seq.shape[0]
+        indices = [min(self._t + t, self.timesteps - 1) for t in range(timesteps)]
+        self._t += timesteps
+        scale = self.temporal_weight[indices].reshape(timesteps, 1, 1, 1, 1)
+        return self.bn.forward_sequence(x_seq) * scale
 
     def extra_repr(self) -> str:
         return f"{self.num_features}, timesteps={self.timesteps}"

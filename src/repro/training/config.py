@@ -41,6 +41,12 @@ class TrainingConfig:
     htt_schedule: Optional[str] = None           # e.g. "FFHH"
     #: optimiser choice ("sgd" or "adam"; paper uses SGD)
     optimizer: str = "sgd"
+    #: execution engine: "fused" folds timesteps into the batch for stateless
+    #: layers; "single" replays the network per timestep (reference path).
+    #: ``None`` (default) defers to the model's own ``step_mode`` — which is
+    #: "fused" for every zoo model unless the user selected otherwise.  Both
+    #: engines produce equivalent losses and gradients.
+    step_mode: Optional[str] = None
     #: random seed for weight init / shuffling
     seed: int = 0
 
@@ -55,6 +61,11 @@ class TrainingConfig:
             raise ValueError(f"unknown tt_variant '{self.tt_variant}'")
         if self.optimizer.lower() not in ("sgd", "adam"):
             raise ValueError(f"unknown optimizer '{self.optimizer}'")
+        if self.step_mode not in (None, "single", "fused"):
+            raise ValueError(
+                f"step_mode must be 'single', 'fused' or None (use the model's), "
+                f"got '{self.step_mode}'"
+            )
 
     @property
     def schedule_horizon(self) -> int:

@@ -18,7 +18,7 @@ from repro.autograd.tensor import no_grad
 from repro.data.datasets import ArrayDataset, DataLoader, Dataset, EventDataset
 from repro.models.base import SpikingModel
 from repro.optim import SGD, Adam, CosineAnnealingLR
-from repro.snn.encoding import DirectEncoder
+from repro.snn.encoding import encode_batch
 from repro.snn.loss import mean_output_cross_entropy
 from repro.training.config import TrainingConfig
 
@@ -36,21 +36,15 @@ class EpochResult:
     learning_rate: float
 
 
-def _encode_batch(data: np.ndarray, timesteps: int) -> np.ndarray:
-    """Shape a batch for the timestep loop: direct coding for static images."""
-    if data.ndim == 4:                       # (N, C, H, W) static images
-        return DirectEncoder(timesteps)(data)
-    if data.ndim == 5:                       # (T, N, C, H, W) event frames
-        if data.shape[0] < timesteps:
-            pad = np.repeat(data[-1:], timesteps - data.shape[0], axis=0)
-            data = np.concatenate([data, pad], axis=0)
-        return data[:timesteps]
-    raise ValueError(f"unsupported batch shape {data.shape}")
+# Batch shaping lives with the encoders now; keep the old private name as an
+# alias for downstream code that imported it from here.
+_encode_batch = encode_batch
 
 
 def evaluate_accuracy(model: SpikingModel, dataset: Dataset, batch_size: int = 64,
                       timesteps: Optional[int] = None,
-                      augment: Optional[Callable[[np.ndarray], np.ndarray]] = None) -> float:
+                      augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                      step_mode: Optional[str] = None) -> float:
     """Top-1 accuracy of ``model`` on ``dataset`` (no gradients, eval mode)."""
     timesteps = timesteps or model.timesteps
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
@@ -60,10 +54,10 @@ def evaluate_accuracy(model: SpikingModel, dataset: Dataset, batch_size: int = 6
     total = 0
     with no_grad():
         for data, labels in loader:
-            batch = _encode_batch(data, timesteps)
+            batch = encode_batch(data, timesteps)
             if augment is not None:
                 batch = augment(batch)
-            predictions = model.predict(batch)
+            predictions = model.predict(batch, step_mode=step_mode)
             correct += int((predictions == labels).sum())
             total += len(labels)
     if was_training:
@@ -115,11 +109,11 @@ class BPTTTrainer:
 
     def train_step(self, data: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
         """One forward+backward+update on a single batch; returns loss/accuracy."""
-        batch = _encode_batch(np.asarray(data, dtype=np.float32), self.config.timesteps)
+        batch = encode_batch(np.asarray(data, dtype=np.float32), self.config.timesteps)
         if self.augment is not None:
             batch = self.augment(batch)
         self.optimizer.zero_grad()
-        outputs = self.model.run_timesteps(batch)
+        outputs = self.model.run_timesteps(batch, step_mode=self.config.step_mode)
         loss = self.loss_fn(outputs, labels)
         loss.backward()
         self.optimizer.step()
@@ -173,4 +167,5 @@ class BPTTTrainer:
         """Top-1 accuracy on ``dataset``."""
         return evaluate_accuracy(self.model, dataset,
                                  batch_size=batch_size or self.config.batch_size,
-                                 timesteps=self.config.timesteps)
+                                 timesteps=self.config.timesteps,
+                                 step_mode=self.config.step_mode)

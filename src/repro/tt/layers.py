@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.layers import Conv2d, _pair
-from repro.nn.module import Module
+from repro.nn.module import Module, fold_time, unfold_time
 from repro.tt.decomposition import TTCores, max_tt_ranks, tt_decompose_conv
 
 __all__ = ["TTConv2dBase", "STTConv2d", "PTTConv2d", "HTTConv2d", "parse_htt_schedule"]
@@ -216,6 +216,20 @@ class TTConv2dBase(Module):
     def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def forward_channels_last(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Fused step-mode path over a channels-last ``(T, N, H, W, C)`` sequence.
+
+        STT and PTT apply the same sub-convolution wiring at every timestep,
+        so the whole sequence runs as one time-folded batch; HTT overrides
+        this with a schedule-aware implementation.  In channels-last layout
+        the 1x1 sub-convolutions are pure GEMMs with no im2col gather.
+        """
+        timesteps = x_seq.shape[0]
+        return unfold_time(self.forward_channels_last(fold_time(x_seq)), timesteps)
+
 
 class STTConv2d(TTConv2dBase):
     """Sequential TT convolution (Fig. 1b): ``conv1 -> conv2 -> conv3 -> conv4``."""
@@ -227,6 +241,12 @@ class STTConv2d(TTConv2dBase):
         out = self.conv2(out)
         out = self.conv3(out)
         return self.conv4(out)
+
+    def forward_channels_last(self, x: Tensor) -> Tensor:
+        out = self.conv1.forward_channels_last(x)
+        out = self.conv2.forward_channels_last(out)
+        out = self.conv3.forward_channels_last(out)
+        return self.conv4.forward_channels_last(out)
 
 
 class PTTConv2d(TTConv2dBase):
@@ -245,6 +265,12 @@ class PTTConv2d(TTConv2dBase):
         vertical = self.conv2(shared)
         horizontal = self.conv3(shared)
         return self.conv4(vertical + horizontal)
+
+    def forward_channels_last(self, x: Tensor) -> Tensor:
+        shared = self.conv1.forward_channels_last(x)
+        vertical = self.conv2.forward_channels_last(shared)
+        horizontal = self.conv3.forward_channels_last(shared)
+        return self.conv4.forward_channels_last(vertical + horizontal)
 
 
 class HTTConv2d(TTConv2dBase):
@@ -316,6 +342,46 @@ class HTTConv2d(TTConv2dBase):
         vertical = self.conv2(shared)
         horizontal = self.conv3(shared)
         return self.conv4(vertical + horizontal)
+
+    def forward_channels_last(self, x: Tensor) -> Tensor:
+        # Folded batches mix timesteps, so the schedule cannot be applied;
+        # HTT handles time explicitly in forward_sequence.
+        raise RuntimeError("HTTConv2d is schedule-dependent; use forward_sequence")
+
+    def forward_sequence(self, x_seq: Tensor) -> Tensor:
+        """Schedule-aware fused path over a channels-last ``(T, N, H, W, C)`` sequence.
+
+        ``conv1`` runs once on the whole folded batch; the expensive
+        ``conv2``/``conv3`` pair then runs only on the timesteps the schedule
+        marks full, the half timesteps take the short ``conv1 -> conv4``
+        path, and the two groups are re-interleaved into time order.
+        """
+        timesteps = x_seq.shape[0]
+        start = self._t
+        flags = [self.half_timestep(start + t) for t in range(timesteps)]
+        self._t = start + timesteps
+
+        conv1, conv2, conv3, conv4 = (c.forward_channels_last for c in self.sub_convolutions())
+        shared = unfold_time(conv1(fold_time(x_seq)), timesteps)
+        full_steps = [t for t, half in enumerate(flags) if not half]
+        half_steps = [t for t, half in enumerate(flags) if half]
+
+        if not half_steps:
+            folded = fold_time(shared)
+            out = conv4(conv2(folded) + conv3(folded))
+            return unfold_time(out, timesteps)
+        if not full_steps:
+            return unfold_time(conv4(fold_time(shared)), timesteps)
+
+        shared_full = fold_time(shared[full_steps])
+        out_full = unfold_time(
+            conv4(conv2(shared_full) + conv3(shared_full)), len(full_steps)
+        )
+        out_half = unfold_time(conv4(fold_time(shared[half_steps])), len(half_steps))
+        combined = Tensor.concatenate([out_full, out_half], axis=0)
+        # Rows are ordered full-then-half; scatter them back into time order.
+        order = np.argsort(np.asarray(full_steps + half_steps, dtype=np.int64))
+        return combined[list(order)]
 
     def extra_repr(self) -> str:
         schedule = "".join("H" if h else "F" for h in self.schedule)
