@@ -22,12 +22,26 @@ Subpackages
 ``repro.hardware``   accelerator energy models (existing SATA-like vs the
                      proposed multi-cluster design)
 ``repro.training``   BPTT trainer and the Algorithm-1 pipeline
+``repro.serve``      inference serving: merged-TT engines, dynamic
+                     micro-batching, model registry, response cache, stats
 ``repro.experiments`` one driver per paper table / figure
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro import autograd, data, hardware, metrics, models, nn, optim, snn, training, tt
+from repro import (
+    autograd,
+    data,
+    hardware,
+    metrics,
+    models,
+    nn,
+    optim,
+    serve,
+    snn,
+    training,
+    tt,
+)
 
 __all__ = [
     "autograd",
@@ -40,5 +54,6 @@ __all__ = [
     "metrics",
     "hardware",
     "training",
+    "serve",
     "__version__",
 ]

@@ -19,7 +19,11 @@ from repro.metrics.flops import (
     tt_model_macs,
     model_flops_table,
 )
-from repro.metrics.profiler import TrainingTimeProfiler, time_training_step
+from repro.metrics.profiler import (
+    TrainingTimeProfiler,
+    summarize_latencies,
+    time_training_step,
+)
 
 __all__ = [
     "count_parameters",
@@ -30,4 +34,5 @@ __all__ = [
     "model_flops_table",
     "TrainingTimeProfiler",
     "time_training_step",
+    "summarize_latencies",
 ]

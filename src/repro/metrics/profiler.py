@@ -18,7 +18,31 @@ import numpy as np
 from repro.models.base import SpikingModel
 from repro.snn.loss import mean_output_cross_entropy
 
-__all__ = ["TrainingTimeProfiler", "time_training_step"]
+__all__ = ["TrainingTimeProfiler", "time_training_step", "summarize_latencies"]
+
+
+def summarize_latencies(durations: List[float],
+                        percentiles: tuple = (50, 95, 99)) -> Dict[str, float]:
+    """Summarise a sample of durations (seconds) into mean / max / percentiles.
+
+    Returns ``{"count", "mean_s", "max_s", "p50_s", "p95_s", "p99_s"}`` (one
+    ``p<N>_s`` key per requested percentile).  An empty sample yields zeros,
+    so callers can render a stats table before traffic arrives.  This is the
+    shared percentile math behind both the serving-side accounting
+    (:class:`repro.serve.stats.ServerStats`) and ad-hoc BENCH recorders.
+    """
+    keys = ["count", "mean_s", "max_s"] + [f"p{int(p)}_s" for p in percentiles]
+    if not durations:
+        return {key: 0.0 for key in keys}
+    array = np.asarray(durations, dtype=np.float64)
+    summary = {
+        "count": float(array.size),
+        "mean_s": float(array.mean()),
+        "max_s": float(array.max()),
+    }
+    for p in percentiles:
+        summary[f"p{int(p)}_s"] = float(np.percentile(array, p))
+    return summary
 
 
 def time_training_step(

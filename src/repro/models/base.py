@@ -123,10 +123,22 @@ class SpikingModel(Module):
 
     def predict(self, inputs: Union[np.ndarray, Tensor],
                 step_mode: Optional[str] = None) -> np.ndarray:
-        """Class predictions from time-averaged logits (no gradient tracking)."""
+        """Class predictions from time-averaged logits (no gradient tracking).
+
+        Prediction always runs in ``eval()`` mode — batch norms use their
+        running statistics instead of (and without updating) batch
+        statistics — and the previous ``training`` flag is restored
+        afterwards, so calling ``predict`` mid-training is side-effect free.
+        """
         from repro.autograd.tensor import no_grad
 
-        with no_grad():
-            outputs = self.run_timesteps(inputs, step_mode=step_mode)
-            mean_logits = sum(o.data for o in outputs) / len(outputs)
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                outputs = self.run_timesteps(inputs, step_mode=step_mode)
+                mean_logits = sum(o.data for o in outputs) / len(outputs)
+        finally:
+            if was_training:
+                self.train()
         return np.argmax(mean_logits, axis=1)

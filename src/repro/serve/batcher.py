@@ -1,0 +1,199 @@
+"""Dynamic micro-batching: coalesce concurrent requests into fused batches.
+
+Serving one image at a time wastes the fused engine: a batch-1 forward pays
+the full per-layer Python / im2col / GEMM-setup overhead for a single sample,
+while a batch-16 forward pays it once for sixteen.  The :class:`MicroBatcher`
+exploits that asymmetry — concurrent single-sample requests enter a queue,
+a worker drains the queue into one ``(N, C, H, W)`` batch under a
+
+* ``max_batch_size`` — never put more than this many samples in one batch;
+* ``max_wait_ms`` — never hold the first request longer than this waiting
+  for the batch to fill;
+
+policy, runs the engine **once**, and scatters the logit rows back to the
+per-request futures.  Every submitted request resolves exactly once — with a
+result, or with the exception the batch raised, or cancelled at close.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.engine import InferenceEngine
+from repro.serve.stats import ServerStats
+
+__all__ = ["MicroBatcher"]
+
+#: Queue sentinel asking a worker thread to exit.
+_SHUTDOWN = object()
+
+
+class MicroBatcher:
+    """Coalesce single-sample requests into fused batches.
+
+    Parameters
+    ----------
+    infer_fn:
+        An :class:`~repro.serve.engine.InferenceEngine` or any callable that
+        maps a stacked ``(N, C, H, W)`` batch to an ``(N, ...)`` array of
+        per-sample results (row ``i`` answers request ``i``).
+    max_batch_size:
+        Upper bound on samples per fused forward.
+    max_wait_ms:
+        Longest time the *first* request of a batch may wait for co-riders.
+        Small values favour latency, large values favour batch fill.
+    num_workers:
+        Worker threads draining the queue.  One worker (the default) already
+        saturates the NumPy engine, which serialises forwards internally.
+    stats:
+        Optional :class:`~repro.serve.stats.ServerStats` receiving per-request
+        latencies and per-batch fill/duration records.
+    """
+
+    def __init__(
+        self,
+        infer_fn: Union[InferenceEngine, Callable[[np.ndarray], np.ndarray]],
+        max_batch_size: int = 16,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        stats: Optional[ServerStats] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if isinstance(infer_fn, InferenceEngine):
+            infer_fn = infer_fn.infer
+        self._infer_fn = infer_fn
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.stats = stats
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers: List[threading.Thread] = []
+        for index in range(num_workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"micro-batcher-{index}", daemon=True)
+            worker.start()
+            self._workers.append(worker)
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, sample: np.ndarray) -> Future:
+        """Enqueue one ``(C, H, W)`` sample; returns a future of its logits row."""
+        sample = np.asarray(sample, dtype=np.float32)
+        if sample.ndim != 3:
+            raise ValueError(f"submit expects a single (C, H, W) sample, got {sample.shape}")
+        future: Future = Future()
+        with self._close_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._queue.put((sample, future, time.monotonic()))
+        return future
+
+    def infer(self, sample: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience wrapper: ``submit(sample).result(timeout)``."""
+        return self.submit(sample).result(timeout=timeout)
+
+    def predict(self, sample: np.ndarray, timeout: Optional[float] = None) -> int:
+        """Blocking class prediction for one sample."""
+        return int(np.argmax(self.infer(sample, timeout=timeout)))
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently queued (excludes in-flight batches)."""
+        return self._queue.qsize()
+
+    # -- worker -------------------------------------------------------------------
+
+    def _gather(self, first) -> Tuple[list, bool]:
+        """Collect up to ``max_batch_size`` requests starting from ``first``.
+
+        Returns the gathered batch and whether a shutdown sentinel was seen
+        (it is re-queued so sibling workers also terminate).
+        """
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                self._queue.put(_SHUTDOWN)
+                return batch, True
+            batch.append(item)
+        return batch, False
+
+    def _process(self, batch: list) -> None:
+        """Run one fused forward and scatter the rows to the request futures."""
+        live = [(sample, future, enqueued) for sample, future, enqueued in batch
+                if future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        start = time.monotonic()
+        try:
+            stacked = np.stack([sample for sample, _, _ in live], axis=0)
+            results = np.asarray(self._infer_fn(stacked))
+            if results.shape[0] != len(live):
+                raise RuntimeError(
+                    f"infer_fn returned {results.shape[0]} rows for {len(live)} requests"
+                )
+        except BaseException as error:  # noqa: BLE001 - forwarded to the futures
+            for _, future, _ in live:
+                future.set_exception(error)
+            return
+        done = time.monotonic()
+        for row, (_, future, enqueued) in zip(results, live):
+            future.set_result(row)
+            if self.stats is not None:
+                self.stats.record_request(done - enqueued)
+        if self.stats is not None:
+            self.stats.record_batch(len(live), done - start)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch, shutdown = self._gather(item)
+            self._process(batch)
+            if shutdown:
+                return
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, timeout: Optional[float] = 10.0) -> None:
+        """Drain outstanding requests, stop the workers, reject new submissions."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MicroBatcher(max_batch_size={self.max_batch_size}, "
+                f"max_wait_ms={self.max_wait_s * 1e3:.1f}, "
+                f"workers={len(self._workers)})")

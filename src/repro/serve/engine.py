@@ -1,0 +1,161 @@
+"""Serving snapshot of a trained spiking model (Algorithm 1, lines 19-22).
+
+The paper's deployment story ends with the trained TT cores merged back into
+dense kernels so that inference runs as an ordinary spike-driven CNN (Eq. 6).
+:class:`InferenceEngine` packages exactly that state transition:
+
+1. **snapshot** — deep-copy the model so serving never mutates (and is never
+   mutated by) a live training loop;
+2. **merge** — replace every STT / PTT / HTT module in the copy by its dense
+   equivalent via :func:`repro.tt.reconstruct.snapshot_merged`;
+3. **freeze** — force ``eval()`` mode (batch norms use running statistics)
+   and drop leftover gradients;
+4. **serve** — every request runs the fused ``(T, N, ...)`` engine from PR 1
+   under ``no_grad`` as the *only* code path.
+
+The engine accepts raw ``(N, C, H, W)`` images (direct-coded to the model's
+timestep count), pre-encoded ``(T, N, C, H, W)`` sequences, or a single
+``(C, H, W)`` sample, and returns time-averaged logits.  Because the spiking
+state (LIF membranes, HTT counters) lives inside the model, a lock serialises
+concurrent ``infer`` calls — throughput scaling comes from batching requests
+(:class:`repro.serve.batcher.MicroBatcher`), not from re-entrancy.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.models.base import SpikingModel
+from repro.snn.encoding import encode_batch
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """An immutable, merged, eval-mode snapshot of a model, ready to serve.
+
+    Parameters
+    ----------
+    model:
+        A (possibly TT-decomposed) :class:`~repro.models.base.SpikingModel`.
+    merge:
+        Merge TT modules into dense kernels (Eq. 6).  Default ``True``; the
+        merge is a no-op on models that are already dense.
+    copy_model:
+        Deep-copy ``model`` before merging so the caller's instance keeps
+        training untouched.  Pass ``False`` to adopt the instance (it will be
+        switched to ``eval()`` and merged in place).
+    timesteps:
+        Override the simulation length for serving (anytime inference: fewer
+        timesteps trade accuracy for latency); defaults to the model's own
+        ``timesteps``.  The snapshot model is re-timed to match, so this does
+        not affect the source model.
+    """
+
+    def __init__(
+        self,
+        model: SpikingModel,
+        merge: bool = True,
+        copy_model: bool = True,
+        timesteps: Optional[int] = None,
+    ):
+        if not isinstance(model, SpikingModel):
+            raise TypeError(
+                f"InferenceEngine serves SpikingModel instances, got {type(model).__name__}"
+            )
+        from repro.tt.reconstruct import merge_model, snapshot_merged
+
+        if merge:
+            if copy_model:
+                model, merged = snapshot_merged(model)
+            else:
+                model.reset()
+                merged = merge_model(model)
+        else:
+            if copy_model:
+                model.reset()
+                model = copy.deepcopy(model)
+            merged = 0
+        if timesteps is not None:
+            if timesteps < 1:
+                raise ValueError(f"timesteps must be >= 1, got {timesteps}")
+            # Re-time the snapshot so run_timesteps simulates exactly this long.
+            model.timesteps = int(timesteps)
+        model.zero_grad()
+        model.eval()
+        model.step_mode = "fused"
+        self.model = model
+        self.merged_layers = merged
+        self.timesteps = model.timesteps
+        self._lock = threading.Lock()
+        self._requests_served = 0
+
+    # -- properties --------------------------------------------------------------
+
+    @property
+    def requests_served(self) -> int:
+        """Total number of samples that went through :meth:`infer`."""
+        return self._requests_served
+
+    # -- execution ---------------------------------------------------------------
+
+    @staticmethod
+    def _shape_batch(inputs: Union[np.ndarray, Tensor]) -> Tuple[np.ndarray, bool]:
+        """Normalise a request payload to ``(N, C, H, W)`` or ``(T, N, C, H, W)``.
+
+        Returns the array plus a flag marking a single ``(C, H, W)`` sample
+        (so the caller can squeeze the batch axis back out).
+        """
+        if isinstance(inputs, Tensor):
+            inputs = inputs.data
+        data = np.asarray(inputs, dtype=np.float32)
+        if data.ndim == 3:
+            return data[None], True
+        if data.ndim in (4, 5):
+            return data, False
+        raise ValueError(
+            f"expected (C,H,W), (N,C,H,W) or (T,N,C,H,W) input, got shape {data.shape}"
+        )
+
+    def infer(self, inputs: Union[np.ndarray, Tensor]) -> np.ndarray:
+        """Time-averaged logits for a request batch, shape ``(N, num_classes)``.
+
+        A single ``(C, H, W)`` sample returns ``(num_classes,)`` logits.
+        """
+        data, single = self._shape_batch(inputs)
+        batch = encode_batch(data, self.timesteps)
+        with self._lock:
+            with no_grad():
+                outputs = self.model.run_timesteps(batch, step_mode="fused")
+                logits = sum(o.data for o in outputs) / len(outputs)
+            self._requests_served += logits.shape[0]
+        return logits[0] if single else logits
+
+    __call__ = infer
+
+    def predict(self, inputs: Union[np.ndarray, Tensor]) -> np.ndarray:
+        """Class predictions (argmax of the time-averaged logits)."""
+        logits = self.infer(inputs)
+        return np.argmax(logits, axis=-1)
+
+    def warmup(self, sample: Optional[np.ndarray] = None,
+               input_shape: Optional[Tuple[int, int, int]] = None) -> None:
+        """Run one throw-away inference to populate caches / im2col buffers.
+
+        Provide either a representative ``sample`` (any accepted shape) or an
+        ``input_shape`` ``(C, H, W)`` from which a zero sample is built.
+        """
+        if sample is None:
+            if input_shape is None:
+                raise ValueError("warmup needs a sample or an input_shape (C, H, W)")
+            sample = np.zeros(input_shape, dtype=np.float32)
+        self.infer(sample)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InferenceEngine(model={self.model.__class__.__name__}, "
+                f"timesteps={self.timesteps}, merged_layers={self.merged_layers})")

@@ -1,0 +1,173 @@
+"""Serving-side latency / throughput accounting.
+
+:class:`ServerStats` is the serving twin of
+:class:`repro.metrics.profiler.TrainingTimeProfiler`: where the trainer
+measures seconds per batch, the server measures requests per second and the
+latency distribution clients actually observe.  The percentile math is shared
+with the metrics package (:func:`repro.metrics.profiler.summarize_latencies`)
+so BENCH recorders and serving endpoints report the same quantities.
+
+Tracked per named collector:
+
+* per-request latency (enqueue -> response), summarised as p50 / p95 / p99 /
+  mean / max;
+* throughput (QPS) over the observed serving window;
+* the batch-fill histogram — how full the micro-batches actually were, the
+  single best signal for tuning ``max_batch_size`` / ``max_wait_ms``;
+* cache hit / miss counts when a :class:`~repro.serve.cache.ResponseCache`
+  fronts the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.metrics.profiler import summarize_latencies
+
+__all__ = ["ServerStats"]
+
+
+class ServerStats:
+    """Thread-safe accumulator of serving metrics.
+
+    Parameters
+    ----------
+    max_samples:
+        Cap on retained per-request latency samples; once exceeded the
+        recorder keeps a moving window of the most recent ones so that
+        long-running servers report *recent* percentiles at bounded memory.
+    """
+
+    def __init__(self, max_samples: int = 100_000):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._batch_sizes: Dict[int, int] = {}
+        self._batch_seconds = 0.0
+        self._requests = 0
+        self._batches = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_request(self, latency_s: float, timestamp: Optional[float] = None) -> None:
+        """Record one answered request and its observed latency in seconds."""
+        now = timestamp if timestamp is not None else time.monotonic()
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(float(latency_s))
+            if len(self._latencies) > self.max_samples:
+                del self._latencies[: len(self._latencies) - self.max_samples]
+            if self._first_ts is None:
+                self._first_ts = now - latency_s
+            self._last_ts = now
+
+    def record_batch(self, size: int, duration_s: float) -> None:
+        """Record one fused forward: how many requests it answered, how long it took."""
+        with self._lock:
+            self._batches += 1
+            self._batch_seconds += float(duration_s)
+            self._batch_sizes[int(size)] = self._batch_sizes.get(int(size), 0) + 1
+
+    def record_cache(self, hit: bool) -> None:
+        """Record a response-cache lookup."""
+        with self._lock:
+            if hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        return self._requests
+
+    @property
+    def batches(self) -> int:
+        return self._batches
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99/mean/max of the retained request latencies (seconds)."""
+        with self._lock:
+            samples = list(self._latencies)
+        return summarize_latencies(samples)
+
+    def qps(self) -> float:
+        """Requests per second over the observed window (0 before two requests)."""
+        with self._lock:
+            if self._requests == 0 or self._first_ts is None or self._last_ts is None:
+                return 0.0
+            window = self._last_ts - self._first_ts
+            if window <= 0:
+                return 0.0
+            return self._requests / window
+
+    def batch_fill_histogram(self) -> Dict[int, int]:
+        """``{batch_size: count}`` over every fused forward so far."""
+        with self._lock:
+            return dict(sorted(self._batch_sizes.items()))
+
+    def mean_batch_fill(self) -> float:
+        """Average number of requests answered per fused forward."""
+        with self._lock:
+            total = sum(size * count for size, count in self._batch_sizes.items())
+            return total / self._batches if self._batches else 0.0
+
+    def as_table(self) -> Dict[str, float]:
+        """One flat dict with every headline number (the stats-table row)."""
+        latency = self.latency_summary()
+        table = {
+            "requests": float(self._requests),
+            "batches": float(self._batches),
+            "qps": self.qps(),
+            "mean_batch_fill": self.mean_batch_fill(),
+            "p50_ms": latency["p50_s"] * 1e3,
+            "p95_ms": latency["p95_s"] * 1e3,
+            "p99_ms": latency["p99_s"] * 1e3,
+            "mean_ms": latency["mean_s"] * 1e3,
+            "max_ms": latency["max_s"] * 1e3,
+        }
+        if self._cache_hits or self._cache_misses:
+            table["cache_hits"] = float(self._cache_hits)
+            table["cache_misses"] = float(self._cache_misses)
+        return table
+
+    def format_table(self) -> str:
+        """Human-readable multi-line rendering of :meth:`as_table`."""
+        rows = self.as_table()
+        width = max(len(key) for key in rows)
+        lines = [f"{key:<{width}} : {value:10.3f}" for key, value in rows.items()]
+        histogram = self.batch_fill_histogram()
+        if histogram:
+            filled = ", ".join(f"{size}x{count}" for size, count in histogram.items())
+            lines.append(f"{'batch_fill':<{width}} : {filled}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Forget everything (e.g. after a model hot-swap)."""
+        with self._lock:
+            self._latencies.clear()
+            self._batch_sizes.clear()
+            self._batch_seconds = 0.0
+            self._requests = 0
+            self._batches = 0
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._first_ts = None
+            self._last_ts = None

@@ -12,7 +12,10 @@ End to end:
 
 :class:`TTSNNPipeline` packages those stages and records the efficiency
 metrics (parameters, FLOPs, training-step time) alongside accuracy so that
-one call produces a full Table II row.
+one call produces a full Table II row.  The result also carries a
+ready-to-serve :class:`~repro.serve.engine.InferenceEngine` snapshot, so
+``pipeline.run(...)`` hands deployment (:mod:`repro.serve`) a merged,
+eval-mode model without any extra plumbing.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from repro.metrics.profiler import time_training_step
 from repro.models.base import SpikingModel
 from repro.models.builder import convert_to_tt, count_tt_layers
 from repro.snn.loss import mean_output_cross_entropy
+from repro.serve.engine import InferenceEngine
 from repro.training.config import TrainingConfig
 from repro.training.trainer import BPTTTrainer, evaluate_accuracy
 from repro.tt.reconstruct import merge_model
@@ -37,7 +41,13 @@ __all__ = ["PipelineResult", "TTSNNPipeline"]
 
 @dataclass
 class PipelineResult:
-    """Everything one pipeline run produces (one row of Table II)."""
+    """Everything one pipeline run produces (one row of Table II).
+
+    ``serving_engine`` is a merged, eval-mode
+    :class:`~repro.serve.engine.InferenceEngine` snapshot of the trained
+    model — register it with a :class:`~repro.serve.server.InferenceServer`
+    (or :class:`~repro.serve.registry.ModelRegistry`) to start serving.
+    """
 
     method: str
     accuracy: float
@@ -47,6 +57,7 @@ class PipelineResult:
     tt_layers: int
     merged_layers: int = 0
     history: List = field(default_factory=list)
+    serving_engine: Optional["InferenceEngine"] = None
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -128,6 +139,19 @@ class TTSNNPipeline:
             raise RuntimeError("build() must run before merge()")
         return merge_model(self.model)
 
+    # -- stage 6: serve ----------------------------------------------------------
+
+    def serve(self) -> InferenceEngine:
+        """Snapshot the current model into a ready-to-serve inference engine.
+
+        The engine deep-copies the model, merges any remaining TT layers
+        (Eq. 6) and freezes it in ``eval()`` mode, so serving never disturbs
+        further training on the pipeline's own instance.
+        """
+        if self.model is None:
+            raise RuntimeError("build() must run before serve()")
+        return InferenceEngine(self.model, merge=True, copy_model=True)
+
     # -- one-shot run -------------------------------------------------------------
 
     def run(
@@ -137,6 +161,7 @@ class TTSNNPipeline:
         epochs: Optional[int] = None,
         profile_batch: Optional[Dict[str, np.ndarray]] = None,
         merge_after_training: bool = True,
+        build_serving_engine: bool = True,
         verbose: bool = False,
     ) -> PipelineResult:
         """Run the whole pipeline and collect a Table-II-style result row.
@@ -144,6 +169,12 @@ class TTSNNPipeline:
         ``profile_batch`` (optional) is a dict with ``"inputs"`` shaped
         ``(T, N, C, H, W)`` and ``"labels"`` used to time one training step;
         when omitted the timing column is skipped (reported as 0).
+
+        ``build_serving_engine`` controls whether the result carries a
+        ready-to-serve :class:`~repro.serve.engine.InferenceEngine` snapshot
+        (a deep copy of the trained model); pass ``False`` for sweeps that
+        keep many results alive and never serve them — ``pipeline.serve()``
+        snapshots on demand later.
         """
         model = self.build()
         tt_layers = count_tt_layers(model)
@@ -175,4 +206,5 @@ class TTSNNPipeline:
             tt_layers=tt_layers,
             merged_layers=merged,
             history=history,
+            serving_engine=self.serve() if build_serving_engine else None,
         )

@@ -52,16 +52,19 @@ def evaluate_accuracy(model: SpikingModel, dataset: Dataset, batch_size: int = 6
     model.eval()
     correct = 0
     total = 0
-    with no_grad():
-        for data, labels in loader:
-            batch = encode_batch(data, timesteps)
-            if augment is not None:
-                batch = augment(batch)
-            predictions = model.predict(batch, step_mode=step_mode)
-            correct += int((predictions == labels).sum())
-            total += len(labels)
-    if was_training:
-        model.train()
+    try:
+        with no_grad():
+            for data, labels in loader:
+                batch = encode_batch(data, timesteps)
+                if augment is not None:
+                    batch = augment(batch)
+                predictions = model.predict(batch, step_mode=step_mode)
+                correct += int((predictions == labels).sum())
+                total += len(labels)
+    finally:
+        # Restore the caller's mode even if a batch raised mid-evaluation.
+        if was_training:
+            model.train()
     return correct / max(total, 1)
 
 

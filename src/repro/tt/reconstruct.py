@@ -22,7 +22,8 @@ functional replacement — verified by the equivalence tests in
 
 from __future__ import annotations
 
-from typing import Optional
+import copy
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +32,7 @@ from repro.nn.module import Module
 from repro.tt.decomposition import TTCores, tt_cores_to_dense
 from repro.tt.layers import HTTConv2d, PTTConv2d, STTConv2d, TTConv2dBase
 
-__all__ = ["reconstruct_dense_weight", "merge_tt_layer", "merge_model"]
+__all__ = ["reconstruct_dense_weight", "merge_tt_layer", "merge_model", "snapshot_merged"]
 
 
 def _parallel_cores_to_dense(cores: TTCores) -> np.ndarray:
@@ -98,3 +99,22 @@ def merge_model(model: Module) -> int:
                 setattr(module, child_name, merge_tt_layer(child))
                 merged_count += 1
     return merged_count
+
+
+def snapshot_merged(model: Module) -> Tuple[Module, int]:
+    """Deep-copy ``model`` and merge every TT layer inside the *copy*.
+
+    The serving layer (:class:`repro.serve.engine.InferenceEngine`) uses this
+    to snapshot a live (possibly still-training) model without mutating it:
+    the original keeps its TT cores and gradients, the returned copy is the
+    plain spike-driven CNN of Algorithm 1 lines 20-22.  Transient spiking
+    state (LIF membranes, HTT timestep counters) is reset on both sides —
+    membranes can hold references into the last autograd graph, and copying
+    that graph would be both wrong and expensive.
+
+    Returns ``(merged_copy, merged_layer_count)``.
+    """
+    if hasattr(model, "reset") and callable(model.reset):
+        model.reset()
+    snapshot = copy.deepcopy(model)
+    return snapshot, merge_model(snapshot)

@@ -1,0 +1,126 @@
+"""The serving snapshot is provably faithful to the trained TT model.
+
+:class:`repro.serve.engine.InferenceEngine` snapshots a model by merging its
+TT cores into dense kernels (Eq. 6).  These tests assert the end-to-end
+guarantee behind that snapshot: for STT / PTT / HTT models the merged-dense
+engine produces the *same logits* as the original TT model — whichever step
+mode (single-step loop or fused) the original runs — to ``1e-5``.
+
+HTT is tested with an all-full schedule: the merge reconstructs the full
+(PTT) path, of which the half path is a runtime shortcut, so schedules that
+take the shortcut are intentionally *not* logit-identical after merging
+(``tests/test_tt_reconstruct.py`` covers the per-layer semantics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import no_grad
+from repro.models.builder import convert_to_tt, count_tt_layers
+from repro.models.resnet import spiking_resnet18
+from repro.models.vgg import spiking_vgg9
+from repro.serve.engine import InferenceEngine
+from repro.snn.encoding import encode_batch
+from repro.snn.loss import mean_output_cross_entropy
+from repro.training.config import TrainingConfig
+from repro.training.trainer import BPTTTrainer
+
+TIMESTEPS = 3
+
+
+def _make_tt_vgg(variant: str, seed: int = 0):
+    model = spiking_vgg9(num_classes=5, in_channels=3, timesteps=TIMESTEPS,
+                         width_scale=0.1, rng=np.random.default_rng(seed))
+    kwargs = {}
+    if variant == "htt":
+        # All-full schedule: the merge reconstructs the full path exactly.
+        kwargs = {"timesteps": TIMESTEPS, "schedule": "F" * TIMESTEPS}
+    convert_to_tt(model, variant=variant, rank=4, **kwargs)
+    return model
+
+
+def _train_briefly(model, rng) -> None:
+    """A couple of optimisation steps so BN running stats are non-trivial."""
+    trainer = BPTTTrainer(model, TrainingConfig(timesteps=TIMESTEPS, epochs=1,
+                                                batch_size=4, learning_rate=0.05, seed=0),
+                          loss_fn=mean_output_cross_entropy)
+    data = rng.random((4, 3, 12, 12)).astype(np.float32)
+    labels = rng.integers(0, 5, size=4)
+    for _ in range(2):
+        trainer.train_step(data, labels)
+
+
+def _mean_logits(model, inputs: np.ndarray, step_mode: str) -> np.ndarray:
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            outputs = model.run_timesteps(encode_batch(inputs, TIMESTEPS),
+                                          step_mode=step_mode)
+            return sum(o.data for o in outputs) / len(outputs)
+    finally:
+        if was_training:
+            model.train()
+
+
+@pytest.mark.parametrize("variant", ["stt", "ptt", "htt"])
+@pytest.mark.parametrize("step_mode", ["single", "fused"])
+def test_merged_engine_matches_tt_model(variant, step_mode, rng):
+    """Engine logits == source TT model logits (both step modes) to 1e-5."""
+    model = _make_tt_vgg(variant)
+    _train_briefly(model, rng)
+    inputs = rng.random((4, 3, 12, 12)).astype(np.float32)
+
+    reference = _mean_logits(model, inputs, step_mode)
+    engine = InferenceEngine(model)
+    assert engine.merged_layers == 5          # VGG-9 minus stem / classifier
+    served = engine.infer(inputs)
+
+    np.testing.assert_allclose(served, reference, atol=1e-5, rtol=1e-5)
+
+
+@pytest.mark.parametrize("step_mode", ["single", "fused"])
+def test_merged_engine_matches_strided_resnet(step_mode, rng):
+    """stride_mode='last' keeps the merge exact on ResNet's strided TT layers."""
+    model = spiking_resnet18(num_classes=4, in_channels=3, timesteps=2,
+                             width_scale=0.07, rng=np.random.default_rng(0))
+    convert_to_tt(model, variant="ptt", rank=4, stride_mode="last")
+    inputs = rng.random((2, 3, 12, 12)).astype(np.float32)
+
+    model.eval()
+    with no_grad():
+        outputs = model.run_timesteps(encode_batch(inputs, 2), step_mode=step_mode)
+        reference = sum(o.data for o in outputs) / len(outputs)
+    engine = InferenceEngine(model)
+    np.testing.assert_allclose(engine.infer(inputs), reference, atol=1e-5, rtol=1e-5)
+
+
+def test_snapshot_leaves_source_model_untouched(rng):
+    """Snapshotting must not merge, reset modes, or otherwise mutate the source."""
+    model = _make_tt_vgg("ptt")
+    model.train()
+    tt_before = count_tt_layers(model)
+    state_before = {k: v.copy() for k, v in model.state_dict().items()}
+
+    engine = InferenceEngine(model)
+    assert engine.merged_layers == tt_before
+    assert count_tt_layers(model) == tt_before       # source keeps its TT cores
+    assert model.training                            # and its training mode
+    assert count_tt_layers(engine.model) == 0        # snapshot is fully dense
+    assert not engine.model.training
+    for key, value in model.state_dict().items():
+        np.testing.assert_array_equal(value, state_before[key])
+
+
+def test_predictions_survive_the_merge(rng):
+    """Argmax decisions agree between the TT model and its serving snapshot."""
+    model = _make_tt_vgg("stt", seed=3)
+    _train_briefly(model, rng)
+    inputs = rng.random((8, 3, 12, 12)).astype(np.float32)
+    engine = InferenceEngine(model)
+    np.testing.assert_array_equal(
+        engine.predict(inputs),
+        model.predict(encode_batch(inputs, TIMESTEPS)),
+    )
