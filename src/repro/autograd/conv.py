@@ -117,7 +117,11 @@ def _im2col_batched(
     out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
 
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        # Direct zero-fill + slice assignment: same result as np.pad without
+        # its per-call Python overhead (this runs once per conv per step).
+        padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+        padded[:, :, ph:ph + h, pw:pw + w] = x
+        x = padded
 
     # Strided view: (N, C, kh, kw, out_h, out_w)
     stride_n, stride_c, stride_h, stride_w = x.strides
@@ -253,7 +257,11 @@ def _im2col_cl(
     out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
 
     if ph or pw:
-        x = np.pad(x, ((0, 0), (ph, ph), (pw, pw), (0, 0)), mode="constant")
+        # Direct zero-fill + slice assignment: same result as np.pad without
+        # its per-call Python overhead (this runs once per conv per step).
+        padded = np.zeros((m, h + 2 * ph, w + 2 * pw, c), dtype=x.dtype)
+        padded[:, ph:ph + h, pw:pw + w, :] = x
+        x = padded
 
     stride_m, stride_h, stride_w, stride_c = x.strides
     shape = (m, out_h, out_w, kh, kw, c)
@@ -306,6 +314,13 @@ class ConvChannelsLastFunction(Function):
         self._has_bias = False
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:
+        return self._compute(arrays, save=True)
+
+    def forward_inference(self, *arrays: np.ndarray) -> np.ndarray:
+        """Forward without retaining the im2col columns (no-grad replay path)."""
+        return self._compute(arrays, save=False)
+
+    def _compute(self, arrays, save: bool) -> np.ndarray:
         if len(arrays) == 3:
             x, weight, bias = arrays
             self._has_bias = True
@@ -331,9 +346,10 @@ class ConvChannelsLastFunction(Function):
         if bias is not None:
             out = out + bias
 
-        self._x_shape = x.shape
-        self._cols = cols
-        self._weight = weight
+        if save:
+            self._x_shape = x.shape
+            self._cols = cols
+            self._weight = weight
         return out.astype(x.dtype, copy=False)
 
     def backward(self, grad_output: np.ndarray):

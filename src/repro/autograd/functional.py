@@ -12,7 +12,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor
+from repro.autograd.tensor import Function, Tensor, as_tensor, record_op
 from repro.autograd.conv import _pair, conv2d_output_shape, im2col
 
 __all__ = [
@@ -52,10 +52,22 @@ def tanh(x: Tensor) -> Tensor:
     return as_tensor(x).tanh()
 
 
+def _stopgrad_max(x: Tensor, axis: int) -> Tensor:
+    """Gradient-free ``max(x, axis, keepdims=True)`` (softmax stabiliser).
+
+    The result carries no backward (the shift cancels analytically) but IS
+    reported to the op trace: a replay must recompute it from the live input,
+    not reuse the value baked at capture time.
+    """
+    out = Tensor(x.data.max(axis=axis, keepdims=True))
+    record_op("stopgrad_max", (x,), out, {"axis": axis})
+    return out
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _stopgrad_max(x, axis)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
@@ -63,7 +75,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _stopgrad_max(x, axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
@@ -75,18 +87,27 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     return out
 
 
-def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
-    """Negative log-likelihood of integer ``labels`` under ``log_probs``."""
+def nll_loss(log_probs: Tensor, labels) -> Tensor:
+    """Negative log-likelihood of ``labels`` under ``log_probs``.
+
+    ``labels`` is either an integer vector ``(N,)`` or a pre-built one-hot
+    ``(N, C)`` :class:`Tensor` — the latter lets the compiled runtime feed
+    labels through a replayable placeholder instead of baking them into the
+    captured graph.
+    """
     log_probs = as_tensor(log_probs)
-    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-    n, c = log_probs.shape
-    mask = Tensor(one_hot(labels, c))
+    if isinstance(labels, Tensor):
+        mask = labels
+    else:
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        n, c = log_probs.shape
+        mask = Tensor(one_hot(labels, c))
     picked = (log_probs * mask).sum(axis=1)
     return -picked.mean()
 
 
-def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
-    """Softmax cross-entropy between ``logits (N, C)`` and integer labels."""
+def cross_entropy(logits: Tensor, labels) -> Tensor:
+    """Softmax cross-entropy between ``logits (N, C)`` and integer (or one-hot) labels."""
     return nll_loss(log_softmax(logits, axis=1), labels)
 
 
@@ -115,7 +136,16 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
     rng = rng or np.random.default_rng()
     x = as_tensor(x)
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
-    return x * Tensor(mask)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate_grad(np.asarray(grad) * mask)
+
+    # One traced node carrying the generator itself: a replay draws a fresh
+    # mask from the same stream instead of reusing the capture realisation.
+    out = Tensor._make(out_data, (x,), backward)
+    record_op("dropout", (x,), out, {"p": p, "rng": rng}, saved=mask)
+    return out
 
 
 def pad2d(x: Tensor, padding: Tuple[int, int]) -> Tensor:
@@ -130,7 +160,9 @@ def pad2d(x: Tensor, padding: Tuple[int, int]) -> Tensor:
         h, w = x.shape[-2], x.shape[-1]
         x._accumulate_grad(np.asarray(grad)[..., ph:ph + h, pw:pw + w])
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    record_op("pad2d", (x,), out, {"padding": (ph, pw)})
+    return out
 
 
 class _AvgPool2dFunction(Function):
@@ -226,6 +258,22 @@ class _MaxPool2dFunction(Function):
             return best
         return self._forward_general(x)
 
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Max pooling without the argmax map (compiled no-grad replay path)."""
+        n, c, h, w = x.shape
+        kh, kw = self.kernel
+        if (self.stride == self.kernel and self.padding == (0, 0)
+                and h % kh == 0 and w % kw == 0 and kh * kw > 1):
+            views = list(self._window_views(x))
+            best = views[0].copy()
+            for candidate in views[1:]:
+                np.maximum(best, candidate, out=best)
+            return best
+        out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+        return cols.max(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype, copy=False)
+
     def _forward_general(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         kh, kw = self.kernel
@@ -305,6 +353,19 @@ class _MaxPool2dCLFunction(_ChannelsLastPoolBase):
             return self._fallback_forward(x, _MaxPool2dFunction)
         self._x_shape = x.shape
         best, self._argmax = _window_max_first_wins(list(self._windows(x)))
+        return best
+
+    def forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Max pooling without the argmax map (compiled no-grad replay path)."""
+        m, h, w, c = x.shape
+        if not self._is_fast(h, w):
+            inner = _MaxPool2dFunction(self.kernel, self.stride, self.padding)
+            out = inner.forward_inference(np.ascontiguousarray(x.transpose(0, 3, 1, 2)))
+            return np.ascontiguousarray(out.transpose(0, 2, 3, 1))
+        views = self._windows(x)
+        best = next(views).copy()
+        for candidate in views:
+            np.maximum(best, candidate, out=best)
         return best
 
     def backward(self, grad_output: np.ndarray):

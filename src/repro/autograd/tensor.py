@@ -14,16 +14,36 @@ runs the closures in reverse order.
 Broadcasting is fully supported: gradients flowing into a broadcast operand
 are reduced (summed) over the broadcast axes so that ``grad.shape`` always
 matches ``data.shape``.
+
+Op tracing
+----------
+Every differentiable op additionally reports itself to an *active trace*
+(installed per-thread via :func:`set_trace`) as a structured record — op
+name, input/output tensors, static attributes and, where needed, saved
+forward state.  The compiled runtime (:mod:`repro.runtime`) installs a
+:class:`~repro.runtime.graph.GraphCapture` as the trace to turn one eager
+step into a replayable execution plan; with no trace installed the check is
+a single thread-local read per op.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Tensor", "Function", "no_grad", "is_grad_enabled", "as_tensor"]
+__all__ = [
+    "Tensor",
+    "Function",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "set_trace",
+    "active_trace",
+    "record_op",
+]
 
 # ---------------------------------------------------------------------------
 # global grad-enabled switch
@@ -51,6 +71,51 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+# ---------------------------------------------------------------------------
+# op tracing hook (consumed by repro.runtime)
+# ---------------------------------------------------------------------------
+
+_TRACE_TLS = threading.local()
+
+
+def active_trace():
+    """Return the trace object installed on this thread (or ``None``)."""
+    return getattr(_TRACE_TLS, "trace", None)
+
+
+def set_trace(trace):
+    """Install ``trace`` as this thread's active op trace; returns the previous one.
+
+    The trace must expose ``record(op, inputs, out, attrs, saved)`` where
+    ``inputs`` is a tuple of :class:`Tensor`, ``out`` is the produced
+    :class:`Tensor` (or ``None`` for side-effect-only records), ``attrs`` is
+    a dict of static attributes and ``saved`` is optional forward state
+    needed by the op's backward (e.g. a :class:`Function` context).
+    """
+    previous = getattr(_TRACE_TLS, "trace", None)
+    _TRACE_TLS.trace = trace
+    return previous
+
+
+def record_op(op: str, inputs: Tuple["Tensor", ...], out: Optional["Tensor"],
+              attrs: Optional[dict] = None, saved=None) -> None:
+    """Report one executed op to the active trace (no-op when none installed)."""
+    trace = getattr(_TRACE_TLS, "trace", None)
+    if trace is not None:
+        trace.record(op, inputs, out, attrs or {}, saved)
+
+
+def _traced(op: str, data: np.ndarray, parents: Sequence["Tensor"],
+            backward: Optional[Callable[[np.ndarray], None]],
+            attrs: Optional[dict] = None, saved=None) -> "Tensor":
+    """Create an op result via :meth:`Tensor._make` and report it to the trace."""
+    out = Tensor._make(data, parents, backward)
+    trace = getattr(_TRACE_TLS, "trace", None)
+    if trace is not None:
+        trace.record(op, tuple(parents), out, attrs or {}, saved)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -111,7 +176,7 @@ class Tensor:
         whose ``.grad`` is populated by :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_grad_owned", "name")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
         if isinstance(data, Tensor):
@@ -124,6 +189,7 @@ class Tensor:
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: Tuple["Tensor", ...] = ()
+        self._grad_owned: bool = False
         self.name = name
 
     # -- basic properties ---------------------------------------------------
@@ -153,13 +219,35 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False)
+        record_op("detach", (self,), out)
+        return out
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        out = Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        record_op("copy", (self,), out)
+        return out
 
-    def zero_grad(self) -> None:
-        self.grad = None
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient.
+
+        With ``set_to_none=True`` (the default) the gradient buffer is simply
+        dropped — backward then *accumulates on first write* (stores the
+        incoming gradient instead of adding into a zeroed array), so no
+        full-size memset is paid per step.  ``set_to_none=False`` zero-fills
+        the existing buffer in place for callers that hold references to it.
+        """
+        if set_to_none or self.grad is None:
+            self.grad = None
+            self._grad_owned = False
+        elif self._grad_owned:
+            self.grad.fill(0.0)
+        else:
+            # The array was adopted by reference and may be shared (e.g. add
+            # hands the same upstream gradient to both parents) — zero-filling
+            # it in place would corrupt the sibling's gradient.
+            self.grad = np.zeros_like(self.grad)
+            self._grad_owned = True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -187,9 +275,23 @@ class Tensor:
     def _accumulate_grad(self, grad: np.ndarray) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None else grad
+            # Accumulate-on-first-write: adopt the incoming array when it owns
+            # its storage (ops hand over fresh temporaries); copy views so a
+            # later in-place accumulation cannot corrupt shared memory.
+            if grad.base is not None:
+                self.grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self.grad = grad
+                self._grad_owned = False
+        elif self._grad_owned:
+            np.add(self.grad, grad, out=self.grad)
         else:
+            # The stored array was adopted by reference and may be shared with
+            # another consumer (e.g. add passes the same upstream gradient to
+            # both parents) — allocate the sum, then accumulate in place.
             self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor.
@@ -243,7 +345,7 @@ class Tensor:
             if other_t.requires_grad or other_t._prev:
                 other_t._accumulate_grad(grad)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return _traced("add", out_data, (self, other_t), backward)
 
     __radd__ = __add__
 
@@ -253,7 +355,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(-grad)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("neg", out_data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-as_tensor(other, dtype=self.data.dtype))
@@ -271,7 +373,7 @@ class Tensor:
             if other_t.requires_grad or other_t._prev:
                 other_t._accumulate_grad(grad * self.data)
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return _traced("mul", out_data, (self, other_t), backward)
 
     __rmul__ = __mul__
 
@@ -285,7 +387,7 @@ class Tensor:
             if other_t.requires_grad or other_t._prev:
                 other_t._accumulate_grad(-grad * self.data / (other_t.data ** 2))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return _traced("div", out_data, (self, other_t), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return as_tensor(other, dtype=self.data.dtype) / self
@@ -298,7 +400,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("pow", out_data, (self,), backward, {"exponent": exponent})
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other_t = as_tensor(other, dtype=self.data.dtype)
@@ -319,21 +421,31 @@ class Tensor:
                     grad_b = np.swapaxes(a, -1, -2) @ grad
                 other_t._accumulate_grad(_unbroadcast(np.asarray(grad_b), b.shape))
 
-        return Tensor._make(out_data, (self, other_t), backward)
+        return _traced("matmul", out_data, (self, other_t), backward)
 
     # -- comparisons (non differentiable, return plain Tensors) -------------
 
+    def _compare(self, other: ArrayLike, op: str, ufunc) -> "Tensor":
+        if isinstance(other, Tensor):
+            out = Tensor(ufunc(self.data, other.data).astype(self.data.dtype))
+            record_op(op, (self, other), out)
+        else:
+            other_arr = _asarray(other, self.data.dtype)
+            out = Tensor(ufunc(self.data, other_arr).astype(self.data.dtype))
+            record_op(op + "_scalar", (self,), out, {"other": other_arr})
+        return out
+
     def __gt__(self, other: ArrayLike) -> "Tensor":
-        return Tensor((self.data > _asarray(other, self.data.dtype)).astype(self.data.dtype))
+        return self._compare(other, "greater", np.greater)
 
     def __ge__(self, other: ArrayLike) -> "Tensor":
-        return Tensor((self.data >= _asarray(other, self.data.dtype)).astype(self.data.dtype))
+        return self._compare(other, "greater_equal", np.greater_equal)
 
     def __lt__(self, other: ArrayLike) -> "Tensor":
-        return Tensor((self.data < _asarray(other, self.data.dtype)).astype(self.data.dtype))
+        return self._compare(other, "less", np.less)
 
     def __le__(self, other: ArrayLike) -> "Tensor":
-        return Tensor((self.data <= _asarray(other, self.data.dtype)).astype(self.data.dtype))
+        return self._compare(other, "less_equal", np.less_equal)
 
     # -- reductions ----------------------------------------------------------
 
@@ -349,7 +461,8 @@ class Tensor:
                 g = g.reshape(shape)
             self._accumulate_grad(np.broadcast_to(g, self.data.shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("sum", out_data, (self,), backward,
+                       {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -380,7 +493,8 @@ class Tensor:
             denom = mask.sum(axis=axis, keepdims=True)
             self._accumulate_grad(mask * g / denom)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("max", out_data, (self,), backward,
+                       {"axis": axis, "keepdims": keepdims})
 
     # -- shape manipulation ---------------------------------------------------
 
@@ -393,7 +507,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(np.asarray(grad).reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("reshape", out_data, (self,), backward,
+                       {"shape": tuple(out_data.shape)})
 
     def view(self, *shape) -> "Tensor":
         return self.reshape(*shape)
@@ -414,7 +529,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(np.asarray(grad).transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("transpose", out_data, (self,), backward, {"axes": tuple(axes)})
 
     def permute(self, *axes) -> "Tensor":
         return self.transpose(*axes)
@@ -426,7 +541,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(np.asarray(grad).reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("squeeze", out_data, (self,), backward, {"axis": axis})
 
     def unsqueeze(self, axis: int) -> "Tensor":
         original = self.data.shape
@@ -435,7 +550,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(np.asarray(grad).reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("unsqueeze", out_data, (self,), backward, {"axis": axis})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -445,7 +560,7 @@ class Tensor:
             np.add.at(full, index, np.asarray(grad))
             self._accumulate_grad(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("getitem", out_data, (self,), backward, {"index": index})
 
     # -- elementwise math -----------------------------------------------------
 
@@ -455,7 +570,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("exp", out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -463,7 +578,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("log", out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -471,7 +586,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * 0.5 / np.maximum(out_data, 1e-12))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("sqrt", out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -479,7 +594,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("tanh", out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -487,7 +602,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("sigmoid", out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
         mask = (self.data > 0).astype(self.data.dtype)
@@ -496,7 +611,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("relu", out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
@@ -505,7 +620,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * sign)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("abs", out_data, (self,), backward)
 
     def clip(self, low: float, high: float) -> "Tensor":
         out_data = np.clip(self.data, low, high)
@@ -514,7 +629,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate_grad(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return _traced("clip", out_data, (self,), backward, {"low": low, "high": high})
 
     # -- static constructors ---------------------------------------------------
 
@@ -546,7 +661,7 @@ class Tensor:
                 if t.requires_grad or t._prev:
                     t._accumulate_grad(np.squeeze(piece, axis=axis))
 
-        return Tensor._make(out_data, tensors, backward)
+        return _traced("stack", out_data, tensors, backward, {"axis": axis})
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -563,7 +678,7 @@ class Tensor:
                     index[axis] = slice(start, stop)
                     t._accumulate_grad(g[tuple(index)])
 
-        return Tensor._make(out_data, tensors, backward)
+        return _traced("concatenate", out_data, tensors, backward, {"axis": axis})
 
 
 # ---------------------------------------------------------------------------
@@ -584,6 +699,10 @@ class Function:
     The surrogate-gradient Heaviside used by the LIF neuron is implemented as
     a ``Function``: forward returns ``(u >= v_th)`` while backward returns a
     smooth surrogate derivative.
+
+    ``apply`` reports a ``"fn"`` trace record carrying the subclass and its
+    constructor kwargs, so the compiled runtime can re-instantiate a fresh
+    context and re-run forward/backward on replay.
     """
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
@@ -609,4 +728,5 @@ class Function:
                 if t.requires_grad or t._prev:
                     t._accumulate_grad(g)
 
-        return Tensor._make(out_data, tensors, backward)
+        return _traced("fn", out_data, tensors, backward,
+                       {"cls": cls, "kwargs": kwargs}, saved=ctx)

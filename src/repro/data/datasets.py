@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Callable, Iterator, Optional, Tuple
 
 import numpy as np
@@ -86,21 +88,35 @@ class EventDataset(Dataset):
 
 
 class DataLoader:
-    """Batch iterator over a dataset with optional shuffling.
+    """Batch iterator over a dataset with optional shuffling and prefetch.
 
     For :class:`ArrayDataset` the yielded batch is ``(images (N, C, H, W),
     labels (N,))``; for :class:`EventDataset` the frames are transposed to
     the model-facing layout ``(T, N, C, H, W)``.
+
+    With ``prefetch=True`` batch assembly (per-sample transforms, stacking)
+    runs on a background thread into a double buffer of ``prefetch_depth``
+    batches, overlapping with the consumer's train step.  The shuffle order
+    is drawn from the loader's seeded generator *before* the worker starts
+    and batches are yielded strictly in order, so prefetching is
+    bit-deterministic with the non-prefetch iterator for a given ``seed``
+    (per-sample ``transform`` callables must not share unseeded global
+    state).
     """
 
     def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
-                 drop_last: bool = False, seed: Optional[int] = None):
+                 drop_last: bool = False, seed: Optional[int] = None,
+                 prefetch: bool = False, prefetch_depth: int = 2):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if prefetch_depth < 1:
+            raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.prefetch = prefetch
+        self.prefetch_depth = prefetch_depth
         self._rng = np.random.default_rng(seed)
 
     def __len__(self) -> int:
@@ -109,18 +125,62 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    def _assemble(self, batch_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        samples = [self.dataset[int(i)] for i in batch_idx]
+        data = np.stack([s[0] for s in samples], axis=0)
+        labels = np.array([s[1] for s in samples], dtype=np.int64)
+        if data.ndim == 5:
+            # (N, T, C, H, W) -> (T, N, C, H, W) for the timestep loop.
+            data = np.transpose(data, (1, 0, 2, 3, 4))
+        return data, labels
+
+    def _batch_indices(self) -> list:
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(indices)
+        batches = []
         for start in range(0, len(indices), self.batch_size):
             batch_idx = indices[start:start + self.batch_size]
             if self.drop_last and len(batch_idx) < self.batch_size:
                 break
-            samples = [self.dataset[int(i)] for i in batch_idx]
-            data = np.stack([s[0] for s in samples], axis=0)
-            labels = np.array([s[1] for s in samples], dtype=np.int64)
-            if data.ndim == 5:
-                # (N, T, C, H, W) -> (T, N, C, H, W) for the timestep loop.
-                data = np.transpose(data, (1, 0, 2, 3, 4))
-            yield data, labels
+            batches.append(batch_idx)
+        return batches
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        batches = self._batch_indices()
+        if not self.prefetch:
+            for batch_idx in batches:
+                yield self._assemble(batch_idx)
+            return
+        yield from self._iter_prefetch(batches)
+
+    def _iter_prefetch(self, batches: list) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        buffer: "queue.Queue" = queue.Queue(maxsize=self.prefetch_depth)
+        sentinel = object()
+
+        def worker() -> None:
+            try:
+                for batch_idx in batches:
+                    buffer.put(self._assemble(batch_idx))
+            except BaseException as exc:  # propagate to the consumer
+                buffer.put((sentinel, exc))
+            else:
+                buffer.put((sentinel, None))
+
+        thread = threading.Thread(target=worker, name="dataloader-prefetch", daemon=True)
+        thread.start()
+        try:
+            while True:
+                item = buffer.get()
+                if isinstance(item, tuple) and len(item) == 2 and item[0] is sentinel:
+                    if item[1] is not None:
+                        raise item[1]
+                    break
+                yield item
+        finally:
+            # Unblock the worker if the consumer abandons the iterator early.
+            while thread.is_alive():
+                try:
+                    buffer.get_nowait()
+                except queue.Empty:
+                    thread.join(timeout=0.05)

@@ -18,7 +18,8 @@ import numpy as np
 from repro.models.base import SpikingModel
 from repro.snn.loss import mean_output_cross_entropy
 
-__all__ = ["TrainingTimeProfiler", "time_training_step", "summarize_latencies"]
+__all__ = ["TrainingTimeProfiler", "time_training_step", "summarize_latencies",
+           "summarize_runtime"]
 
 
 def summarize_latencies(durations: List[float],
@@ -43,6 +44,35 @@ def summarize_latencies(durations: List[float],
     for p in percentiles:
         summary[f"p{int(p)}_s"] = float(np.percentile(array, p))
     return summary
+
+
+def summarize_runtime(source) -> Dict[str, object]:
+    """Capture-vs-replay report for a compiled-runtime owner.
+
+    ``source`` is anything exposing ``runtime_stats()`` — a
+    :class:`~repro.training.trainer.BPTTTrainer` with ``compile=True``, a
+    compiled :class:`~repro.serve.engine.InferenceEngine`, or a raw
+    ``CompiledTrainStep`` / ``CompiledForward``.  Returns the runtime's
+    accounting (captures, replays, plan and arena statistics) augmented with
+    a latency percentile summary of the replay durations and the
+    capture-vs-replay speedup (how much cheaper a replayed step is than the
+    capture that built its plan).
+    """
+    stats_fn = getattr(source, "runtime_stats", None)
+    if stats_fn is None:
+        raise TypeError(f"{type(source).__name__} does not expose runtime_stats()")
+    stats = stats_fn()
+    if stats is None:
+        raise ValueError("compiled runtime is not active on this source "
+                         "(construct it with compile=True)")
+    report = dict(stats)
+    durations = list(getattr(source, "replay_durations", [])
+                     or getattr(getattr(source, "_compiled", None), "replay_durations", []))
+    report["replay_latency"] = summarize_latencies(durations)
+    mean_capture = float(report.get("mean_capture_s", 0.0))
+    mean_replay = float(report.get("mean_replay_s", 0.0))
+    report["capture_over_replay"] = (mean_capture / mean_replay) if mean_replay > 0 else 0.0
+    return report
 
 
 def time_training_step(

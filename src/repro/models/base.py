@@ -102,10 +102,11 @@ class SpikingModel(Module):
         mode = step_mode if step_mode is not None else self.step_mode
         if mode not in STEP_MODES:
             raise ValueError(f"step_mode must be one of {STEP_MODES}, got {mode!r}")
-        if isinstance(inputs, Tensor):
-            data = inputs.data
-        else:
-            data = np.asarray(inputs, dtype=np.float32)
+        # A Tensor input stays in the graph (sliced via traced getitem ops), so
+        # the compiled runtime can capture the step against a replayable
+        # placeholder; plain ndarrays keep the detached fast path.
+        tensor_in = inputs if isinstance(inputs, Tensor) else None
+        data = tensor_in.data if tensor_in is not None else np.asarray(inputs, dtype=np.float32)
         if data.ndim != 5:
             raise ValueError(f"expected (T, N, C, H, W) input, got shape {data.shape}")
         if data.shape[0] < self.timesteps:
@@ -114,11 +115,16 @@ class SpikingModel(Module):
             )
         self.reset()
         if mode == "fused":
-            logits_seq = self.forward_sequence(as_tensor(data[: self.timesteps]))
+            if tensor_in is not None:
+                sequence = tensor_in if data.shape[0] == self.timesteps else tensor_in[: self.timesteps]
+            else:
+                sequence = as_tensor(data[: self.timesteps])
+            logits_seq = self.forward_sequence(sequence)
             return [logits_seq[t] for t in range(self.timesteps)]
         outputs: List[Tensor] = []
         for t in range(self.timesteps):
-            outputs.append(self.forward(as_tensor(data[t])))
+            frame = tensor_in[t] if tensor_in is not None else as_tensor(data[t])
+            outputs.append(self.forward(frame))
         return outputs
 
     def predict(self, inputs: Union[np.ndarray, Tensor],

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.conv import conv2d, conv2d_channels_last, _pair, conv2d_output_shape
-from repro.autograd.tensor import Function, Tensor
+from repro.autograd.tensor import Function, Tensor, record_op
 from repro.nn import init
 from repro.nn.module import (
     Module,
@@ -205,6 +205,43 @@ class BatchNormSequenceFunction(Function):
         out += bias.reshape(self._param_shape())
         return out.astype(x.dtype, copy=False)
 
+    def update_running_stats(self, running_mean: np.ndarray, running_var: np.ndarray,
+                             momentum: float) -> None:
+        """Apply the ``T`` sequential momentum updates to the running buffers.
+
+        Exactly what ``T`` single-step batch-norm calls would do; shared by
+        the eager path (:func:`batch_norm_sequence`) and the compiled replay
+        kernel so the two can never drift apart — the runtime relies on
+        bitwise-equal statistics.
+        """
+        for t in range(self.batch_mean.shape[0]):
+            running_mean[...] = (1 - momentum) * running_mean + momentum * self.batch_mean[t]
+            running_var[...] = (1 - momentum) * running_var + momentum * self.batch_var[t]
+
+    def forward_inference(self, *arrays: np.ndarray) -> np.ndarray:
+        """Eval-mode fast path: fold mean/var/affine into one scale-and-shift.
+
+        Used by compiled no-grad plans; equal to :meth:`forward` up to float
+        rounding (~1e-7 relative — the factored form multiplies per-channel
+        constants first).  Training mode needs exact batch statistics and
+        falls back to the full forward.
+        """
+        if self.training:
+            return self.forward(*arrays)
+        x = arrays[0]
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        if len(arrays) == 3:
+            weight, bias = arrays[1], arrays[2]
+            scale = inv_std * (self.gamma_scale * weight)
+            shift = bias - self.running_mean * scale
+        else:
+            scale = inv_std
+            shift = -self.running_mean * inv_std
+        shape = self._param_shape()
+        out = x * scale.reshape(shape)
+        out += shift.reshape(shape)
+        return out.astype(x.dtype, copy=False)
+
     def backward(self, grad_output: np.ndarray):
         xhat = self._xhat
         inv_std = self._inv_std
@@ -273,6 +310,13 @@ class BatchNorm2d(Module):
             self.running_var.data[...] = (
                 (1 - self.momentum) * self.running_var.data + self.momentum * batch_var
             )
+            # Side-effect record: a replayed step must repeat the running-stat
+            # momentum update from the live input, not keep the baked values.
+            record_op("bn_stats", (x,), None, {
+                "running_mean": self.running_mean.data,
+                "running_var": self.running_var.data,
+                "momentum": self.momentum, "axes": axes,
+            })
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
         else:
@@ -349,9 +393,7 @@ def batch_norm_sequence(
         inputs = (x_seq,)
     out_data = ctx.forward(*[t.data for t in inputs])
     if training:
-        for t in range(x_seq.shape[0]):
-            running_mean[...] = (1 - momentum) * running_mean + momentum * ctx.batch_mean[t]
-            running_var[...] = (1 - momentum) * running_var + momentum * ctx.batch_var[t]
+        ctx.update_running_stats(running_mean, running_var, momentum)
 
     def backward(grad: np.ndarray) -> None:
         grads = ctx.backward(np.asarray(grad))
@@ -361,7 +403,15 @@ def batch_norm_sequence(
             if tensor.requires_grad or tensor._prev:
                 tensor._accumulate_grad(g)
 
-    return Tensor._make(out_data, inputs, backward)
+    out = Tensor._make(out_data, inputs, backward)
+    record_op("bn_seq", inputs, out, {
+        "cls": BatchNormSequenceFunction,
+        "ctor": dict(eps=eps, training=training, running_mean=running_mean,
+                     running_var=running_var, gamma_scale=gamma_scale,
+                     channels_last=channels_last),
+        "momentum": momentum,
+    }, saved=ctx)
+    return out
 
 
 class AvgPool2d(StatelessModule):

@@ -130,10 +130,16 @@ class Module:
 
     # -- gradients ---------------------------------------------------------------
 
-    def zero_grad(self) -> None:
-        """Clear the gradient of every parameter."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear the gradient of every parameter.
+
+        The default drops the gradient buffers entirely (``grad = None``);
+        backward then accumulates on first write, so no full-size memset is
+        paid per parameter per step.  ``set_to_none=False`` zero-fills the
+        existing buffers in place instead, for callers holding references.
+        """
         for param in self.parameters():
-            param.grad = None
+            param.zero_grad(set_to_none=set_to_none)
 
     def num_parameters(self, trainable_only: bool = True) -> int:
         """Total number of scalar parameters."""
@@ -181,6 +187,20 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def compile(self, fn=None):
+        """Return a compiled (capture/replay) no-grad forward of this module.
+
+        The first call per input signature traces one eager forward into an
+        execution plan (:mod:`repro.runtime`); later calls with the same
+        shape/dtype replay the plan on the raw input array without touching
+        Python autograd or module dispatch.  A shape change re-captures
+        automatically.  Pass ``fn`` to compile a different entry point than
+        ``self.__call__`` (e.g. ``model.run_timesteps`` for spiking models).
+        """
+        from repro.runtime.replay import CompiledForward
+
+        return CompiledForward(fn if fn is not None else self, owner=self)
 
     # -- introspection -------------------------------------------------------------
 

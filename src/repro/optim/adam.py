@@ -40,9 +40,10 @@ class Adam:
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear gradients; see :meth:`repro.optim.sgd.SGD.zero_grad`."""
         for param in self.params:
-            param.grad = None
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         self._step += 1

@@ -40,10 +40,16 @@ class SGD:
         self.nesterov = nesterov
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
-    def zero_grad(self) -> None:
-        """Clear all parameter gradients."""
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear all parameter gradients.
+
+        Defaults to dropping the buffers (``grad = None``) so backward
+        accumulates on first write instead of adding into zeroed arrays — no
+        per-parameter memset per step.  ``set_to_none=False`` zero-fills in
+        place for callers that hold references to the gradient arrays.
+        """
         for param in self.params:
-            param.grad = None
+            param.zero_grad(set_to_none=set_to_none)
 
     def step(self) -> None:
         """Apply one update using the gradients accumulated on the parameters."""

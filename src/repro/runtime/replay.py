@@ -1,0 +1,215 @@
+"""Compiled steps: capture once, replay on fresh inputs until the shape changes.
+
+Two front-ends wrap :func:`~repro.runtime.planner.compile_plan`:
+
+* :class:`CompiledTrainStep` — captures one full ``forward + loss + backward``
+  training step (Algorithm 1's inner loop) and replays it per batch; leaf
+  gradients land on ``Parameter.grad`` exactly as eager backward would, so
+  the (eager, cheap) optimizer update composes unchanged.
+* :class:`CompiledForward` — captures a no-grad forward (a module call or a
+  model's ``run_timesteps``) for serving-style replay.
+
+Both keep a plan cache keyed by the input *signature* (shape, dtype, train
+mode, timesteps, step mode): a signature change transparently triggers a
+fresh capture — shape-change invalidation — while replays for known
+signatures never touch Python autograd or module dispatch again.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.runtime.arena import BufferArena
+from repro.runtime.graph import CaptureError, GraphCapture
+from repro.runtime.planner import compile_plan
+
+__all__ = ["CompiledTrainStep", "CompiledForward"]
+
+
+class _CompiledBase:
+    """Shared plan cache + capture/replay accounting."""
+
+    def __init__(self, arena: Optional[BufferArena] = None):
+        self.arena = arena or BufferArena()
+        self._plans: Dict[tuple, tuple] = {}
+        self.capture_count = 0
+        self.capture_time_s = 0.0
+        self.replay_count = 0
+        self.replay_time_s = 0.0
+        # Bounded window: long-running servers replay millions of times.
+        self.replay_durations: "deque[float]" = deque(maxlen=1024)
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (buffers return to the arena free lists)."""
+        for entry in self._plans.values():
+            entry[0].release()
+        self._plans.clear()
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._plans)
+
+    def runtime_stats(self) -> Dict[str, object]:
+        """Capture-vs-replay accounting plus arena and latest-plan statistics."""
+        stats: Dict[str, object] = {
+            "captures": self.capture_count,
+            "capture_time_s": self.capture_time_s,
+            "replays": self.replay_count,
+            "replay_time_s": self.replay_time_s,
+            "mean_capture_s": self.capture_time_s / max(1, self.capture_count),
+            "mean_replay_s": self.replay_time_s / max(1, self.replay_count),
+            "plans": len(self._plans),
+            "arena": self.arena.stats(),
+        }
+        if self._plans:
+            last_plan = next(reversed(self._plans.values()))[0]
+            stats["plan"] = last_plan.stats()
+        return stats
+
+
+class CompiledTrainStep(_CompiledBase):
+    """Capture/replay engine for one BPTT training step.
+
+    The first call with a given input signature runs the step *eagerly under
+    the trace* (producing a plan) and finishes it with the planned backward;
+    subsequent calls replay the plan on the new batch without building any
+    autograd graph.  Integer labels enter the plan as a one-hot placeholder,
+    so the loss must accept a one-hot :class:`Tensor` in place of the label
+    vector (the built-in losses do).
+
+    The optimizer stays eager: replays deposit gradients on ``param.grad``
+    and the caller runs ``optimizer.step()`` as usual — parameter updates are
+    picked up by the next replay because parameter slots re-read ``.data``.
+    """
+
+    def __init__(self, model, loss_fn: Callable, step_mode: Optional[str] = None,
+                 arena: Optional[BufferArena] = None):
+        super().__init__(arena)
+        self.model = model
+        self.loss_fn = loss_fn
+        self.step_mode = step_mode
+
+    def signature(self, batch: np.ndarray) -> tuple:
+        mode = self.step_mode if self.step_mode is not None else self.model.step_mode
+        return (tuple(batch.shape), batch.dtype.str, bool(self.model.training),
+                int(self.model.timesteps), mode)
+
+    def run(self, batch: np.ndarray, labels: np.ndarray) -> Tuple[float, List[np.ndarray], bool]:
+        """Execute one training step; returns ``(loss, per-timestep logits, replayed)``.
+
+        ``replayed`` is ``False`` on capture steps (first occurrence of the
+        input signature) and ``True`` afterwards.
+        """
+        batch = np.asarray(batch, dtype=np.float32)
+        labels = np.asarray(labels)
+        key = self.signature(batch)
+        entry = self._plans.get(key)
+        if entry is None:
+            return self._capture(key, batch, labels)
+        plan, num_classes = entry
+        start = time.perf_counter()
+        outputs = plan.replay({
+            "batch": batch,
+            "labels_onehot": _one_hot(labels, num_classes),
+        })
+        loss = plan.loss_value()
+        elapsed = time.perf_counter() - start
+        self.replay_count += 1
+        self.replay_time_s += elapsed
+        self.replay_durations.append(elapsed)
+        return loss, outputs, True
+
+    def _capture(self, key: tuple, batch: np.ndarray,
+                 labels: np.ndarray) -> Tuple[float, List[np.ndarray], bool]:
+        mode = key[-1]
+        start = time.perf_counter()
+        with GraphCapture() as capture:
+            batch_t = Tensor(batch)
+            capture.placeholder(batch_t, "batch")
+            outputs = self.model.run_timesteps(batch_t, step_mode=mode)
+            num_classes = int(outputs[0].shape[-1])
+            onehot_t = Tensor(_one_hot(labels, num_classes))
+            capture.placeholder(onehot_t, "labels_onehot")
+            loss = self.loss_fn(outputs, onehot_t)
+            capture.mark_loss(loss)
+            for index, out in enumerate(outputs):
+                capture.mark_output(out, f"logits_t{index}")
+        plan = compile_plan(capture, self.arena)
+        plan.backward_from_capture()
+        self.capture_time_s += time.perf_counter() - start
+        self.capture_count += 1
+        self._plans[key] = (plan, num_classes)
+        return float(loss.data), [out.data for out in outputs], False
+
+
+class CompiledForward(_CompiledBase):
+    """Capture/replay engine for a no-grad forward (inference hot path).
+
+    ``fn`` maps one input :class:`Tensor` to a :class:`Tensor` or a sequence
+    of tensors (e.g. per-timestep logits).  Plans are keyed by the input's
+    shape/dtype plus the owner's train flag and timestep count, so shape
+    changes re-capture automatically.  Accessible as ``module.compile()``.
+    """
+
+    def __init__(self, fn: Callable[[Tensor], Union[Tensor, Sequence[Tensor]]],
+                 owner=None, arena: Optional[BufferArena] = None):
+        super().__init__(arena)
+        self.fn = fn
+        self.owner = owner
+
+    def signature(self, array: np.ndarray) -> tuple:
+        extras: tuple = ()
+        if self.owner is not None:
+            extras = (bool(getattr(self.owner, "training", False)),
+                      getattr(self.owner, "timesteps", None))
+        return (tuple(array.shape), array.dtype.str) + extras
+
+    def __call__(self, array: np.ndarray) -> Union[np.ndarray, List[np.ndarray]]:
+        """Run the compiled forward; output arrays are valid until the next call."""
+        array = np.asarray(array, dtype=np.float32)
+        key = self.signature(array)
+        entry = self._plans.get(key)
+        if entry is None:
+            return self._capture(key, array)
+        plan, is_sequence = entry
+        start = time.perf_counter()
+        outputs = plan.replay({"input": array}, grads=False)
+        elapsed = time.perf_counter() - start
+        self.replay_count += 1
+        self.replay_time_s += elapsed
+        self.replay_durations.append(elapsed)
+        return outputs if is_sequence else outputs[0]
+
+    def _capture(self, key: tuple, array: np.ndarray):
+        start = time.perf_counter()
+        with no_grad():
+            with GraphCapture() as capture:
+                input_t = Tensor(array)
+                capture.placeholder(input_t, "input")
+                result = self.fn(input_t)
+                is_sequence = isinstance(result, (list, tuple))
+                tensors = list(result) if is_sequence else [result]
+                for index, out in enumerate(tensors):
+                    if not isinstance(out, Tensor):
+                        raise CaptureError(
+                            f"compiled forward must return Tensors, got {type(out).__name__}"
+                        )
+                    capture.mark_output(out, f"out{index}")
+        plan = compile_plan(capture, self.arena)
+        self.capture_time_s += time.perf_counter() - start
+        self.capture_count += 1
+        self._plans[key] = (plan, is_sequence)
+        arrays = [out.data for out in tensors]
+        return arrays if is_sequence else arrays[0]
+
+
+def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -55,6 +55,14 @@ class InferenceEngine:
         timesteps trade accuracy for latency); defaults to the model's own
         ``timesteps``.  The snapshot model is re-timed to match, so this does
         not affect the source model.
+    compile:
+        Serve through the capture/replay runtime (:mod:`repro.runtime`):
+        request batches are zero-padded up to the next power-of-two batch
+        size and executed by a compiled no-grad forward plan cached per
+        padded shape, so :class:`~repro.serve.batcher.MicroBatcher` bursts of
+        any fill level hit a replayed plan instead of rebuilding the Python
+        forward.  Padding is exact — eval-mode layers are per-sample
+        independent, and the pad rows are sliced off before returning.
     """
 
     def __init__(
@@ -63,6 +71,7 @@ class InferenceEngine:
         merge: bool = True,
         copy_model: bool = True,
         timesteps: Optional[int] = None,
+        compile: bool = False,
     ):
         if not isinstance(model, SpikingModel):
             raise TypeError(
@@ -94,6 +103,16 @@ class InferenceEngine:
         self.timesteps = model.timesteps
         self._lock = threading.Lock()
         self._requests_served = 0
+        self.compile = bool(compile)
+        self._compiled = None
+        self._pad_buffers = {}
+        if self.compile:
+            from repro.runtime.replay import CompiledForward
+
+            self._compiled = CompiledForward(
+                lambda batch_t: self.model.run_timesteps(batch_t, step_mode="fused"),
+                owner=self.model,
+            )
 
     # -- properties --------------------------------------------------------------
 
@@ -130,11 +149,41 @@ class InferenceEngine:
         data, single = self._shape_batch(inputs)
         batch = encode_batch(data, self.timesteps)
         with self._lock:
-            with no_grad():
-                outputs = self.model.run_timesteps(batch, step_mode="fused")
-                logits = sum(o.data for o in outputs) / len(outputs)
+            if self._compiled is not None:
+                logits = self._infer_compiled(batch)
+            else:
+                with no_grad():
+                    outputs = self.model.run_timesteps(batch, step_mode="fused")
+                    logits = sum(o.data for o in outputs) / len(outputs)
             self._requests_served += logits.shape[0]
         return logits[0] if single else logits
+
+    def _infer_compiled(self, batch: np.ndarray) -> np.ndarray:
+        """Replay the compiled forward plan for the padded batch size."""
+        n = batch.shape[1]
+        n_padded = 1 << max(0, n - 1).bit_length() if n > 1 else 1
+        if n_padded != n:
+            # One persistent buffer per padded shape (serialised by the engine
+            # lock): the hot path stays allocation-free, only the pad rows are
+            # re-zeroed in case a previous larger request left samples there.
+            shape = batch.shape[:1] + (n_padded,) + batch.shape[2:]
+            padded = self._pad_buffers.get(shape)
+            if padded is None:
+                padded = self._pad_buffers[shape] = np.zeros(shape, dtype=batch.dtype)
+            padded[:, :n] = batch
+            padded[:, n:] = 0.0
+            batch = padded
+        outputs = self._compiled(batch)
+        # The mean allocates a fresh array, so the returned logits stay valid
+        # after the plan buffers are overwritten by the next replay.
+        logits = sum(outputs) / len(outputs)
+        return logits[:n] if n_padded != n else logits
+
+    def runtime_stats(self) -> Optional[dict]:
+        """Capture-vs-replay accounting of the compiled path (``None`` if eager)."""
+        if self._compiled is None:
+            return None
+        return self._compiled.runtime_stats()
 
     __call__ = infer
 

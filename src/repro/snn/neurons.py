@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor
+from repro.autograd.tensor import Function, Tensor, as_tensor, record_op
 from repro.nn.module import StatefulModule
 
 __all__ = [
@@ -187,6 +187,37 @@ class _FusedLIFSequence(Function):
         self.final_membrane = post
         return spikes
 
+    def forward_inference(self, currents: np.ndarray) -> np.ndarray:
+        """Forward without BPTT bookkeeping (compiled no-grad replay path).
+
+        Emits bitwise-identical spikes to :meth:`forward` but keeps only a
+        rolling membrane instead of the full ``(T, ...)`` history, so
+        forward-only plans allocate one output and three frame-sized
+        scratches per call.
+        """
+        timesteps = currents.shape[0]
+        spikes = np.empty_like(currents)
+        membrane = np.empty_like(currents[0])
+        scratch = np.empty_like(currents[0])
+        post = np.empty_like(currents[0])
+        if self.initial_membrane is None:
+            np.copyto(post, 0.0)
+        else:
+            np.copyto(post, self.initial_membrane)
+        for t in range(timesteps):
+            np.multiply(post, self.tau_m, out=membrane)
+            membrane += currents[t]
+            spike = spikes[t]
+            np.greater_equal(membrane, self.v_threshold, out=spike, casting="unsafe")
+            if self.hard_reset:
+                np.subtract(1.0, spike, out=scratch)
+                np.multiply(membrane, scratch, out=post)
+            else:
+                np.multiply(spike, self.v_threshold, out=scratch)
+                np.subtract(membrane, scratch, out=post)
+        self.final_membrane = post
+        return spikes
+
     def backward(self, grad_output: np.ndarray):
         membranes = self._membranes
         spikes = self._spikes
@@ -326,11 +357,12 @@ class LIFNeuron(StatefulModule):
         initial = None
         if self.state.membrane is not None:
             initial = self.state.membrane.data
-        ctx = _FusedLIFSequence(
+        lif_kwargs = dict(
             tau_m=self.tau_m, v_threshold=self.v_threshold, surrogate=self.surrogate,
             hard_reset=self.hard_reset, detach_reset=self.detach_reset,
             initial_membrane=initial,
         )
+        ctx = _FusedLIFSequence(**lif_kwargs)
         out_data = ctx.forward(currents.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -339,6 +371,10 @@ class LIFNeuron(StatefulModule):
                 currents._accumulate_grad(grad_input)
 
         spikes = Tensor._make(out_data, (currents,), backward)
+        # Same record shape as Function.apply: a replay re-instantiates a
+        # fresh context with these kwargs and re-runs the fused recurrence.
+        record_op("fn", (currents,), spikes,
+                  {"cls": _FusedLIFSequence, "kwargs": lif_kwargs}, saved=ctx)
         # Expose the final membrane for observability (detached, like the data
         # any caller would read after the sequence).
         self.state.membrane = Tensor(ctx.final_membrane)

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Tensor
+from repro.autograd.tensor import Tensor, record_op
 from repro.nn import init
 from repro.nn.layers import BatchNorm2d, batch_norm_sequence
 from repro.nn.module import Module, Parameter
@@ -72,6 +72,13 @@ class TDBatchNorm2d(Module):
             self.running_var.data[...] = (
                 (1 - self.momentum) * self.running_var.data + self.momentum * batch_var
             )
+            # Side-effect record so compiled replays repeat the running-stat
+            # momentum update from the live input.
+            record_op("bn_stats", (x,), None, {
+                "running_mean": self.running_mean.data,
+                "running_var": self.running_var.data,
+                "momentum": self.momentum, "axes": axes,
+            })
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
         else:

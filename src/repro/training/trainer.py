@@ -85,6 +85,14 @@ class BPTTTrainer:
     augment:
         Optional batch augmentation applied to the ``(T, N, C, H, W)`` input
         (e.g. :class:`~repro.snn.augment.NeuromorphicAugment` for NDA).
+    compile:
+        Opt into the capture/replay runtime (:mod:`repro.runtime`): the first
+        step per input signature is captured into an execution plan, every
+        later step replays the plan on the new batch — no per-step autograd
+        tape, near-zero steady-state allocations — and parameter updates stay
+        eager.  A batch-shape (or train-mode/timesteps/step-mode) change
+        re-captures automatically.  Replayed steps are numerically equivalent
+        to eager ones; ``tests/test_runtime.py`` asserts the equivalence.
     """
 
     def __init__(
@@ -93,11 +101,14 @@ class BPTTTrainer:
         config: TrainingConfig,
         loss_fn: Optional[Callable] = None,
         augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        compile: bool = False,
     ):
         self.model = model
         self.config = config
         self.loss_fn = loss_fn or mean_output_cross_entropy
         self.augment = augment
+        self.compile = bool(compile)
+        self._compiled = None
         if config.optimizer.lower() == "adam":
             self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
                                   weight_decay=config.weight_decay)
@@ -115,6 +126,9 @@ class BPTTTrainer:
         batch = encode_batch(np.asarray(data, dtype=np.float32), self.config.timesteps)
         if self.augment is not None:
             batch = self.augment(batch)
+        labels = np.asarray(labels)
+        if self.compile:
+            return self._compiled_step(batch, labels)
         self.optimizer.zero_grad()
         outputs = self.model.run_timesteps(batch, step_mode=self.config.step_mode)
         loss = self.loss_fn(outputs, labels)
@@ -124,6 +138,27 @@ class BPTTTrainer:
         mean_logits = sum(o.data for o in outputs) / len(outputs)
         accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
         return {"loss": float(loss.data), "accuracy": accuracy}
+
+    def _compiled_step(self, batch: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
+        """Capture/replay variant of :meth:`train_step` (same contract)."""
+        from repro.runtime.replay import CompiledTrainStep
+
+        if self._compiled is None:
+            self._compiled = CompiledTrainStep(self.model, self.loss_fn,
+                                               step_mode=self.config.step_mode)
+        self.optimizer.zero_grad()
+        loss, logits_per_step, replayed = self._compiled.run(batch, labels)
+        self.optimizer.step()
+
+        mean_logits = sum(logits_per_step) / len(logits_per_step)
+        accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
+        return {"loss": loss, "accuracy": accuracy, "replayed": float(replayed)}
+
+    def runtime_stats(self) -> Optional[Dict[str, object]]:
+        """Capture-vs-replay accounting of the compiled runtime (``None`` if eager)."""
+        if self._compiled is None:
+            return None
+        return self._compiled.runtime_stats()
 
     # -- epochs ------------------------------------------------------------------
 
