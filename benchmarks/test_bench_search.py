@@ -1,0 +1,116 @@
+"""Benchmark for the entangled supernet (:mod:`repro.search`).
+
+Weight entanglement must be cheap enough that one-shot search is worth it:
+
+* **supernet step overhead** — training the supernet at a fixed sampled
+  configuration costs at most **2x** a standalone model of the same
+  configuration (the overhead is the slicing views plus scatter-add of the
+  slice gradients into the shared max-rank cores);
+* **compiled entanglement** — under the capture/replay runtime the sliced
+  forward captures like any other graph: steady-state replays perform
+  **zero** fresh arena allocations, and a configuration change re-captures
+  exactly one new plan.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.synthetic import make_static_image_dataset
+from repro.models.vgg import spiking_vgg9
+from repro.search import TTSupernet
+from repro.training.config import TrainingConfig
+from repro.training.trainer import BPTTTrainer
+
+from conftest import BENCH_SCALE
+
+TIMESTEPS = 4
+TRAIN_BATCH = 16
+
+
+def _make_supernet():
+    model = spiking_vgg9(num_classes=BENCH_SCALE["num_classes"], in_channels=3,
+                         timesteps=TIMESTEPS, width_scale=BENCH_SCALE["width_scale"],
+                         rng=np.random.default_rng(0))
+    return TTSupernet(model, max_rank=8)
+
+
+def _make_batch(n: int):
+    data = make_static_image_dataset(n, BENCH_SCALE["num_classes"],
+                                     height=BENCH_SCALE["image_size"],
+                                     width=BENCH_SCALE["image_size"], seed=0)
+    return data.images, data.labels
+
+
+def _median_time(fn, reps: int = 9) -> float:
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return sorted(times)[reps // 2]
+
+
+def test_supernet_step_at_most_2x_single_config_step():
+    """Entangled training at a fixed config <= 2x the standalone model's step."""
+    data, labels = _make_batch(TRAIN_BATCH)
+    config = TrainingConfig(timesteps=TIMESTEPS, batch_size=TRAIN_BATCH)
+
+    supernet = _make_supernet()
+    sampled = supernet.space.uniform_config("ptt")
+    supernet.apply_config(sampled)
+    standalone = supernet.materialise(sampled)
+
+    supernet_trainer = BPTTTrainer(supernet, config)
+    standalone_trainer = BPTTTrainer(standalone, config)
+    supernet_trainer.train_step(data, labels)      # warm-up (im2col buffers)
+    standalone_trainer.train_step(data, labels)
+
+    supernet_s = _median_time(lambda: supernet_trainer.train_step(data, labels))
+    standalone_s = _median_time(lambda: standalone_trainer.train_step(data, labels))
+    overhead = supernet_s / standalone_s
+    print(f"\nVGG-9 T={TIMESTEPS} N={TRAIN_BATCH} PTT max-rank train step: "
+          f"standalone {standalone_s * 1e3:.1f} ms, supernet {supernet_s * 1e3:.1f} ms, "
+          f"overhead {overhead:.2f}x")
+    assert overhead <= 2.0, (
+        f"entangled supernet step is {overhead:.2f}x the single-config step "
+        f"(limit 2x)"
+    )
+
+
+def test_entangled_slicing_compiles_with_zero_steady_state_allocations():
+    """Fixed-config supernet training under the compiled runtime.
+
+    The sliced-view graph (getitem of the shared cores) captures into a plan
+    like any eager graph; replays must not allocate, and flipping the sampled
+    configuration re-captures exactly one additional plan.
+    """
+    data, labels = _make_batch(TRAIN_BATCH)
+    supernet = _make_supernet()
+    supernet.apply_config(supernet.space.uniform_config("ptt"))
+    trainer = BPTTTrainer(supernet,
+                          TrainingConfig(timesteps=TIMESTEPS, batch_size=TRAIN_BATCH),
+                          compile=True)
+    trainer.train_step(data, labels)               # capture
+    trainer.train_step(data, labels)               # first replay (arena settles)
+
+    arena = trainer._compiled.arena
+    allocated_before = arena.allocated
+    for _ in range(3):
+        stats = trainer.train_step(data, labels)
+        assert stats["replayed"] == 1.0
+    steady_state_allocs = arena.allocated - allocated_before
+    assert steady_state_allocs == 0, (
+        f"steady-state replays allocated {steady_state_allocs} fresh buffers"
+    )
+
+    # A configuration change is architectural: one new capture, old plan kept.
+    supernet.apply_config(supernet.space.uniform_config("stt", rank_fraction=0.5))
+    assert trainer.train_step(data, labels)["replayed"] == 0.0
+    runtime = trainer.runtime_stats()
+    assert runtime["captures"] == 2 and runtime["plans"] == 2
+    print(f"\ncompiled supernet: arena {runtime['arena']}, "
+          f"steady-state new allocations: {steady_state_allocs}, "
+          f"plans after config flip: {runtime['plans']}")

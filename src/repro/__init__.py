@@ -24,6 +24,9 @@ Subpackages
 ``repro.training``   BPTT trainer and the Algorithm-1 pipeline
 ``repro.serve``      inference serving: merged-TT engines, dynamic
                      micro-batching, model registry, response cache, stats
+``repro.search``     one-shot TT-rank/format search: entangled supernet,
+                     evolutionary + Gumbel-softmax strategies, hardware-aware
+                     Pareto selection
 ``repro.experiments`` one driver per paper table / figure
 """
 
@@ -37,6 +40,7 @@ from repro import (
     models,
     nn,
     optim,
+    search,
     serve,
     snn,
     training,
@@ -55,5 +59,6 @@ __all__ = [
     "hardware",
     "training",
     "serve",
+    "search",
     "__version__",
 ]

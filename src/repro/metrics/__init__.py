@@ -17,6 +17,7 @@ from repro.metrics.flops import (
     compression_report_from_specs,
     dense_model_macs,
     tt_model_macs,
+    mixed_format_report,
     model_flops_table,
 )
 from repro.metrics.profiler import (
@@ -31,6 +32,7 @@ __all__ = [
     "compression_report_from_specs",
     "dense_model_macs",
     "tt_model_macs",
+    "mixed_format_report",
     "model_flops_table",
     "TrainingTimeProfiler",
     "time_training_step",

@@ -25,10 +25,15 @@ __all__ = [
     "compression_report_from_specs",
     "dense_model_macs",
     "tt_model_macs",
+    "mixed_format_report",
     "model_flops_table",
 ]
 
 RankSource = Union[int, Sequence[int]]
+
+#: One (format, rank) assignment per decomposable layer; formats are
+#: ``"dense"``, ``"stt"``, ``"ptt"`` or ``"htt"`` (rank is ignored for dense).
+FormatAssignments = Sequence[Tuple[str, int]]
 
 
 def _rank_for_index(ranks: RankSource, index: int) -> int:
@@ -105,6 +110,65 @@ def compression_report_from_specs(
                                  rank_triple, spec.input_hw, spec.output_hw)
         tt_m = full * full_timesteps + half * half_timesteps
         report.add_layer(spec.name, dense_p, tt_p, dense_m, tt_m)
+    return report
+
+
+def mixed_format_report(
+    specs: Sequence[LayerSpec],
+    assignments: FormatAssignments,
+    timesteps: int,
+    half_timesteps: int = 0,
+) -> CompressionReport:
+    """Dense-vs-chosen accounting when every layer picks its own (format, rank).
+
+    This is the per-layer generalisation of
+    :func:`compression_report_from_specs` that the rank/format search
+    (:mod:`repro.search`) scores candidates with: each decomposable
+    convolution is assigned one of ``{"dense", "stt", "ptt", "htt"}`` plus a
+    uniform TT-rank (ignored for the dense format).  ``half_timesteps``
+    applies only to the layers assigned HTT.
+    """
+    if not 0 <= half_timesteps <= timesteps:
+        raise ValueError(f"half_timesteps must lie in [0, {timesteps}], got {half_timesteps}")
+    report = CompressionReport()
+    full_timesteps = timesteps - half_timesteps
+    index = 0
+    for spec in specs:
+        if spec.kind != "conv" or not spec.decomposable:
+            report.add_shared_layer(spec.name, spec.params, spec.macs * timesteps)
+            continue
+        if index >= len(assignments):
+            raise ValueError(
+                f"{len(assignments)} assignments given but the spec list has more "
+                f"decomposable layers (ran out at '{spec.name}')"
+            )
+        fmt, rank = assignments[index]
+        fmt = fmt.lower()
+        index += 1
+        dense_p = dense_conv_params(spec.in_channels, spec.out_channels, spec.kernel_size)
+        dense_m = dense_conv_macs(spec.in_channels, spec.out_channels, spec.kernel_size,
+                                  spec.output_hw) * timesteps
+        if fmt == "dense":
+            report.add_layer(spec.name, dense_p, dense_p, dense_m, dense_m)
+            continue
+        if fmt not in ("stt", "ptt", "htt"):
+            raise ValueError(f"unknown format '{fmt}' for layer '{spec.name}'")
+        rank_triple = (int(rank),) * 3
+        tt_p = tt_conv_params(spec.in_channels, spec.out_channels, spec.kernel_size, rank_triple)
+        full = tt_conv_macs(spec.in_channels, spec.out_channels, spec.kernel_size,
+                            rank_triple, spec.input_hw, spec.output_hw)
+        if fmt == "htt":
+            half = tt_half_path_macs(spec.in_channels, spec.out_channels,
+                                     rank_triple, spec.input_hw, spec.output_hw)
+            tt_m = full * full_timesteps + half * half_timesteps
+        else:
+            tt_m = full * timesteps
+        report.add_layer(spec.name, dense_p, tt_p, dense_m, tt_m)
+    if index != len(assignments):
+        raise ValueError(
+            f"{len(assignments)} assignments given but the spec list has only "
+            f"{index} decomposable layers"
+        )
     return report
 
 

@@ -24,13 +24,9 @@ from repro.nn.module import Module, ModuleList, sequence_forward
 from repro.snn.neurons import LIFNeuron
 from repro.models.base import SpikingModel
 from repro.models.blocks import MSBasicBlock, make_norm
+from repro.models.specs import scaled_width as _scaled
 
 __all__ = ["SpikingResNet", "spiking_resnet18", "spiking_resnet34", "spiking_resnet20"]
-
-
-def _scaled(width: int, scale: float) -> int:
-    """Scale a channel count, keeping it at least 4 for numerical sanity."""
-    return max(4, int(round(width * scale)))
 
 
 class SpikingResNet(SpikingModel):

@@ -20,12 +20,23 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "LayerSpec",
+    "scaled_width",
     "resnet18_layer_specs",
     "resnet34_layer_specs",
     "resnet20_layer_specs",
     "vgg_layer_specs",
     "model_layer_specs",
 ]
+
+
+def scaled_width(width: int, scale: float) -> int:
+    """Width-multiplier rule of the model builders (floored at 4).
+
+    The single definition shared by the VGG/ResNet constructors and every
+    analytic consumer (e.g. :func:`repro.tt.ranks.admissible_rank_limits`) —
+    all must agree on the channel counts a ``width_scale`` produces.
+    """
+    return max(4, int(round(width * scale)))
 
 
 @dataclass

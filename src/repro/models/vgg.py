@@ -17,6 +17,7 @@ from repro.nn.layers import AdaptiveAvgPool2d, Conv2d, Flatten, Linear, MaxPool2
 from repro.nn.module import ModuleList, sequence_forward
 from repro.models.base import SpikingModel
 from repro.models.blocks import SpikingConvBlock
+from repro.models.specs import scaled_width as _scaled
 from repro.snn.neurons import LIFNeuron
 
 __all__ = ["SpikingVGG", "spiking_vgg9", "spiking_vgg11", "VGG9_CONFIG", "VGG11_CONFIG"]
@@ -24,10 +25,6 @@ __all__ = ["SpikingVGG", "spiking_vgg9", "spiking_vgg11", "VGG9_CONFIG", "VGG11_
 # 'M' entries are 2x2 max-pool downsampling stages.
 VGG9_CONFIG: List[Union[int, str]] = [64, "M", 128, 256, "M", 256, 512, "M", 512, "M"]
 VGG11_CONFIG: List[Union[int, str]] = [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"]
-
-
-def _scaled(width: int, scale: float) -> int:
-    return max(4, int(round(width * scale)))
 
 
 class SpikingVGG(SpikingModel):

@@ -8,7 +8,7 @@ lambda schedulers are provided for ablations.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Dict
 
 __all__ = ["CosineAnnealingLR", "StepLR", "LambdaLR"]
 
@@ -31,19 +31,61 @@ class _Scheduler:
         self.optimizer.lr = new_lr
         return new_lr
 
+    def state_dict(self) -> Dict[str, float]:
+        """Resumable state: the base LR and the epoch counter."""
+        return {"base_lr": self.base_lr, "last_epoch": self.last_epoch}
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        """Restore a saved schedule position and re-apply its learning rate.
+
+        After loading, the optimiser LR equals what the schedule prescribes
+        for the restored ``last_epoch``, so a resumed run continues the exact
+        LR sequence of the original one.
+        """
+        self.base_lr = float(state["base_lr"])
+        self.last_epoch = int(state["last_epoch"])
+        self.optimizer.lr = self.get_lr()
+
 
 class CosineAnnealingLR(_Scheduler):
-    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs."""
+    """Cosine decay from the base LR to ``eta_min`` over ``t_max`` epochs.
 
-    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0):
+    ``warmup_epochs`` prepends a linear ramp from
+    ``warmup_start_factor * base_lr`` up to the full ``base_lr``, reached
+    exactly at epoch ``warmup_epochs`` (the boundary epoch runs at the base
+    LR); the cosine decay then spans the remaining ``t_max - warmup_epochs``
+    epochs, and the constructor already applies the ramp's starting LR so
+    epoch 0 never trains at the full base LR.
+    """
+
+    def __init__(self, optimizer, t_max: int, eta_min: float = 0.0,
+                 warmup_epochs: int = 0, warmup_start_factor: float = 0.1):
         super().__init__(optimizer)
         if t_max <= 0:
             raise ValueError(f"t_max must be positive, got {t_max}")
+        if not 0 <= warmup_epochs < t_max:
+            raise ValueError(
+                f"warmup_epochs must lie in [0, t_max), got {warmup_epochs} for t_max={t_max}"
+            )
+        if not 0.0 <= warmup_start_factor <= 1.0:
+            raise ValueError(f"warmup_start_factor must lie in [0, 1], got {warmup_start_factor}")
         self.t_max = t_max
         self.eta_min = eta_min
+        self.warmup_epochs = warmup_epochs
+        self.warmup_start_factor = warmup_start_factor
+        if warmup_epochs > 0:
+            # Epoch 0 must already run at the ramp's starting LR — trainers
+            # step the scheduler only *after* each epoch, so without this the
+            # first (most fragile) epoch would train at the full base LR.
+            self.optimizer.lr = self.get_lr()
 
     def get_lr(self) -> float:
-        progress = min(self.last_epoch, self.t_max) / self.t_max
+        if self.warmup_epochs > 0 and self.last_epoch < self.warmup_epochs:
+            ramp = self.last_epoch / self.warmup_epochs
+            factor = self.warmup_start_factor + (1.0 - self.warmup_start_factor) * ramp
+            return self.base_lr * factor
+        horizon = max(1, self.t_max - self.warmup_epochs)
+        progress = min(self.last_epoch - self.warmup_epochs, horizon) / horizon
         return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
 
 

@@ -1,0 +1,174 @@
+"""Hardware-aware cost model for search candidates.
+
+One shared helper — :func:`model_cost` — scores a candidate configuration
+with the analytic accounting the repo already trusts:
+
+* parameters and MACs via :func:`repro.metrics.flops.mixed_format_report`
+  (the per-layer generalisation of the Table II accounting), and
+* simulated training energy via the accelerator models of
+  :mod:`repro.hardware` (the Fig. 4 machinery), extended here to mixed
+  per-layer formats.
+
+Costs are computed from :class:`~repro.models.specs.LayerSpec` lists, so
+they are structural quantities: scoring a candidate never instantiates a
+model.  :func:`measured_params` cross-checks the analytic parameter count
+against a materialised model via :func:`repro.metrics.params.count_parameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.accelerator import EnergyBreakdown, ExistingAcceleratorModel
+from repro.hardware.workload import build_layer_workloads
+from repro.metrics.flops import mixed_format_report
+from repro.metrics.params import count_parameters
+from repro.models.specs import LayerSpec
+from repro.search.space import LayerChoice
+
+__all__ = ["CandidateCost", "model_cost", "mixed_format_energy", "measured_params"]
+
+#: Cost metrics selectable by the Pareto machinery.
+COST_METRICS = ("params", "macs", "energy_pj")
+
+
+@dataclass(frozen=True)
+class CandidateCost:
+    """Analytic cost of one candidate configuration."""
+
+    params: int
+    macs: int
+    energy_pj: Optional[float] = None
+
+    @property
+    def params_M(self) -> float:
+        return self.params / 1e6
+
+    @property
+    def flops_G(self) -> float:
+        return self.macs / 1e9
+
+    @property
+    def energy_uj(self) -> Optional[float]:
+        return None if self.energy_pj is None else self.energy_pj / 1e6
+
+    def scalar(self, metric: str = "macs") -> float:
+        """One scalar cost for Pareto comparison (``params``/``macs``/``energy_pj``)."""
+        if metric not in COST_METRICS:
+            raise ValueError(f"unknown cost metric '{metric}'; options: {COST_METRICS}")
+        value = getattr(self, metric)
+        if value is None:
+            raise ValueError(
+                f"cost metric '{metric}' was not computed (pass an accelerator to model_cost)"
+            )
+        return float(value)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {"params": float(self.params), "macs": float(self.macs)}
+        if self.energy_pj is not None:
+            out["energy_pj"] = float(self.energy_pj)
+        return out
+
+
+def _assignments(config: Sequence[LayerChoice]) -> List[Tuple[str, int]]:
+    return [(choice.format, choice.rank) for choice in config]
+
+
+def mixed_format_energy(
+    specs: Sequence[LayerSpec],
+    config: Sequence[LayerChoice],
+    accelerator: ExistingAcceleratorModel,
+    timesteps: int,
+    half_timesteps: int = 0,
+) -> float:
+    """Simulated training energy (pJ per image) for mixed per-layer formats.
+
+    The per-layer generalisation of
+    :func:`repro.hardware.simulator.simulate_training_energy`: every
+    decomposable layer maps to the workload of its own chosen format (dense
+    layers run as baseline workloads), forward + BPTT backward energies are
+    summed over all timesteps (HTT layers skip their branch sub-convolutions
+    on half timesteps), and leakage integrates over the full schedule.  For a
+    uniform configuration the result equals the single-method simulation.
+    """
+    if not 0 <= half_timesteps <= timesteps:
+        raise ValueError(f"half_timesteps must lie in [0, {timesteps}], got {half_timesteps}")
+    config = list(config)
+    total = EnergyBreakdown()
+    index = 0
+    for spec in specs:
+        if spec.kind == "conv" and spec.decomposable:
+            if index >= len(config):
+                raise ValueError(
+                    f"{len(config)} choices given but the spec list has more "
+                    f"decomposable layers (ran out at '{spec.name}')"
+                )
+            choice = config[index]
+            index += 1
+            method = "baseline" if choice.format == "dense" else choice.format
+            rank = max(1, choice.rank)
+            if method == "htt" and half_timesteps > 0:
+                full = timesteps - half_timesteps
+                flags = [False] * full + [True] * half_timesteps
+            else:
+                flags = [False] * timesteps
+        else:
+            method, rank = "baseline", 1
+            flags = [False] * timesteps
+        (workload,) = build_layer_workloads([spec], method, [rank])
+        layer_breakdown = EnergyBreakdown()
+        for half in flags:
+            layer_breakdown.add(accelerator.forward_energy(workload, half_timestep=half))
+            layer_breakdown.add(accelerator.backward_energy(workload, half_timestep=half))
+        layer_breakdown.add(accelerator.per_step_energy(workload))
+        total.add(layer_breakdown)
+    if index != len(config):
+        raise ValueError(
+            f"{len(config)} choices given but the spec list has only "
+            f"{index} decomposable layers"
+        )
+    total.static_pj += accelerator.static_energy(total.leakage_cycles)
+    return total.total_pj
+
+
+def model_cost(
+    config: Sequence[LayerChoice],
+    specs: Sequence[LayerSpec],
+    timesteps: int,
+    half_timesteps: Optional[int] = None,
+    accelerator: Optional[ExistingAcceleratorModel] = None,
+) -> CandidateCost:
+    """Score one candidate configuration against a layer-spec list.
+
+    Parameters
+    ----------
+    config:
+        One :class:`~repro.search.space.LayerChoice` per decomposable layer.
+    specs:
+        Layer specifications of the target architecture
+        (:func:`repro.models.specs.model_layer_specs`).
+    timesteps:
+        Simulation length the MACs/energy are summed over.
+    half_timesteps:
+        HTT half-path timesteps (defaults to ``timesteps // 2``); applies
+        only to the layers whose choice is HTT.
+    accelerator:
+        Optional accelerator model; when given, the cost includes simulated
+        training energy for that hardware target (making the Pareto
+        selection hardware-aware).
+    """
+    if half_timesteps is None:
+        half_timesteps = timesteps // 2
+    report = mixed_format_report(specs, _assignments(config), timesteps,
+                                 half_timesteps=half_timesteps)
+    energy = None
+    if accelerator is not None:
+        energy = mixed_format_energy(specs, config, accelerator, timesteps,
+                                     half_timesteps=half_timesteps)
+    return CandidateCost(params=report.tt_params, macs=report.tt_macs, energy_pj=energy)
+
+
+def measured_params(model) -> int:
+    """Trainable parameters of a materialised model (analytic cross-check)."""
+    return count_parameters(model)

@@ -1,0 +1,207 @@
+"""Search strategies over the entangled supernet.
+
+Every strategy consumes the :class:`~repro.search.searcher.Searcher` facade
+(which owns the supernet, the trainer, the validation data and the cost
+model) and returns the list of evaluated candidates it explored; the searcher
+extracts the Pareto front from that history.  Three strategies are provided:
+
+* :class:`RandomSearch` — uniform sampling; the one-shot baseline and the
+  warm-up distribution.
+* :class:`EvolutionarySearch` — tournament-free (top-k parent) evolution with
+  uniform crossover and per-layer mutation, the standard one-shot NAS
+  selector (SPOS-style).
+* :class:`GumbelSoftmaxSearch` — differentiable architecture search: each
+  layer's choice distribution is parameterised by trainable logits, every
+  training step runs the supernet as a Gumbel-softmax *mixture* over choices
+  (the compiled runtime falls back to eager for these steps), and gradients
+  from the task loss update both the shared cores and the logits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.search.pareto import ParetoPoint
+from repro.search.space import CandidateConfig, LayerChoice
+
+__all__ = ["SearchStrategy", "RandomSearch", "EvolutionarySearch", "GumbelSoftmaxSearch"]
+
+
+class SearchStrategy:
+    """Interface: explore the space through a searcher, return what was evaluated."""
+
+    name = "base"
+
+    def search(self, searcher) -> List[ParetoPoint]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class RandomSearch(SearchStrategy):
+    """Evaluate ``num_samples`` uniformly random configurations."""
+
+    name = "random"
+
+    def __init__(self, num_samples: int = 16):
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.num_samples = num_samples
+
+    def search(self, searcher) -> List[ParetoPoint]:
+        seen: Dict[tuple, ParetoPoint] = {}
+        attempts = 0
+        while len(seen) < self.num_samples and attempts < self.num_samples * 10:
+            attempts += 1
+            config = searcher.space.random_config(searcher.rng)
+            key = searcher.space.encode(config)
+            if key in seen:
+                continue
+            seen[key] = searcher.evaluate_config(config)
+        return list(seen.values())
+
+
+class EvolutionarySearch(SearchStrategy):
+    """Mutation/crossover evolution over per-layer (format, rank) choices.
+
+    Each generation keeps the ``parents`` fittest candidates (accuracy first,
+    cost as tie-break), carries ``elite`` of them over unchanged, and fills
+    the population with crossover children mutated at ``mutation_prob`` per
+    layer.  All distinct evaluations across generations are returned, so the
+    Pareto front benefits from the full exploration history.
+    """
+
+    name = "evolution"
+
+    def __init__(self, population_size: int = 8, generations: int = 4,
+                 parents: int = 4, elite: int = 2, mutation_prob: float = 0.3):
+        if population_size < 2:
+            raise ValueError(f"population_size must be >= 2, got {population_size}")
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
+        if not 1 <= parents <= population_size:
+            raise ValueError(f"parents must lie in [1, {population_size}], got {parents}")
+        if not 0 <= elite <= parents:
+            raise ValueError(f"elite must lie in [0, {parents}], got {elite}")
+        self.population_size = population_size
+        self.generations = generations
+        self.parents = parents
+        self.elite = elite
+        self.mutation_prob = mutation_prob
+
+    def search(self, searcher) -> List[ParetoPoint]:
+        space, rng = searcher.space, searcher.rng
+        evaluated: Dict[tuple, ParetoPoint] = {}
+
+        def evaluate(config: CandidateConfig) -> ParetoPoint:
+            key = space.encode(config)
+            if key not in evaluated:
+                evaluated[key] = searcher.evaluate_config(config)
+            return evaluated[key]
+
+        def fitness(point: ParetoPoint):
+            return (-point.accuracy, point.cost.scalar(searcher.cost_metric))
+
+        population = [space.random_config(rng) for _ in range(self.population_size)]
+        for _ in range(self.generations):
+            ranked = sorted((evaluate(config) for config in population), key=fitness)
+            parents = [point.config for point in ranked[:self.parents]]
+            children: List[CandidateConfig] = list(parents[:self.elite])
+            while len(children) < self.population_size:
+                mother = parents[int(rng.integers(0, len(parents)))]
+                father = parents[int(rng.integers(0, len(parents)))]
+                child = space.mutate(space.crossover(mother, father, rng), rng,
+                                     prob=self.mutation_prob)
+                children.append(child)
+            population = children
+        for config in population:
+            evaluate(config)
+        return list(evaluated.values())
+
+
+class GumbelSoftmaxSearch(SearchStrategy):
+    """Differentiable mixture search with per-layer architecture logits.
+
+    For ``steps`` training batches the supernet runs as a Gumbel-softmax
+    mixture: layer ``l`` mixes all its choices with weights
+    ``softmax((alpha_l + g) / tau)`` where ``g`` is fresh Gumbel noise and
+    ``tau`` anneals from ``tau`` to ``tau_min``.  The task loss backprops
+    into both the entangled cores (through the sampled slices) and the
+    logits ``alpha`` (through the mixture weights); the logits take a plain
+    gradient step with learning rate ``alpha_lr``.
+
+    Afterwards the per-layer argmax configuration plus ``proposals - 1``
+    samples from the learned choice distributions are evaluated.
+    """
+
+    name = "gumbel"
+
+    def __init__(self, steps: int = 32, tau: float = 2.0, tau_min: float = 0.5,
+                 alpha_lr: float = 0.1, proposals: int = 8):
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        if proposals < 1:
+            raise ValueError(f"proposals must be >= 1, got {proposals}")
+        self.steps = steps
+        self.tau = tau
+        self.tau_min = tau_min
+        self.alpha_lr = alpha_lr
+        self.proposals = proposals
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+    def _mixture_weights(self, alpha: Tensor, tau: float,
+                         rng: np.random.Generator) -> Tensor:
+        """Differentiable Gumbel-softmax weights over one layer's choices."""
+        gumbel = rng.gumbel(size=alpha.shape[0]).astype(np.float32)
+        z = (alpha + Tensor(gumbel)) * (1.0 / tau)
+        # Constant max-shift for stability; softmax is shift-invariant, so
+        # treating the shift as a constant leaves the gradient exact.
+        z = z - float(z.data.max())
+        exp = z.exp()
+        return exp / exp.sum()
+
+    def search(self, searcher) -> List[ParetoPoint]:
+        supernet, rng = searcher.supernet, searcher.rng
+        layer_choices: List[List[LayerChoice]] = [
+            layer.choices() for layer in searcher.space.layers
+        ]
+        alphas = [Tensor(np.zeros(len(choices), dtype=np.float32), requires_grad=True)
+                  for choices in layer_choices]
+
+        self.alphas_: List[np.ndarray] = []
+        for step, (data, labels) in enumerate(searcher.train_batches(self.steps)):
+            anneal = step / max(1, self.steps - 1)
+            tau = self.tau + (self.tau_min - self.tau) * anneal
+            weight_tensors = [self._mixture_weights(alpha, tau, rng) for alpha in alphas]
+            for layer, weights, choices in zip(supernet.layers(), weight_tensors,
+                                               layer_choices):
+                layer.set_mixture(weights, choices)
+            searcher.trainer.train_step(data, labels)
+            for alpha in alphas:
+                if alpha.grad is not None:
+                    alpha.data[...] -= self.alpha_lr * alpha.grad
+                    alpha.zero_grad()
+        supernet.clear_mixture()
+        self.alphas_ = [alpha.data.copy() for alpha in alphas]
+
+        proposals: Dict[tuple, CandidateConfig] = {}
+        argmax = tuple(
+            choices[int(np.argmax(alpha))]
+            for alpha, choices in zip(self.alphas_, layer_choices)
+        )
+        proposals[searcher.space.encode(argmax)] = argmax
+        attempts = 0
+        while len(proposals) < self.proposals and attempts < self.proposals * 10:
+            attempts += 1
+            sampled = tuple(
+                choices[int(rng.choice(len(choices), p=self._softmax(alpha)))]
+                for alpha, choices in zip(self.alphas_, layer_choices)
+            )
+            proposals.setdefault(searcher.space.encode(sampled), sampled)
+        return [searcher.evaluate_config(config) for config in proposals.values()]

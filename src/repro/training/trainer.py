@@ -160,6 +160,19 @@ class BPTTTrainer:
             return None
         return self._compiled.runtime_stats()
 
+    def prune_plans(self, max_plans: int) -> bool:
+        """Drop every cached replay plan once more than ``max_plans`` are alive.
+
+        Callers that change the model's architecture signature per step (the
+        supernet's random warm-up sampling captures one plan per distinct
+        configuration) use this to bound plan-cache memory; returns whether a
+        prune happened.  A no-op on eager trainers.
+        """
+        if self._compiled is not None and self._compiled.plan_count > max_plans:
+            self._compiled.invalidate()
+            return True
+        return False
+
     # -- epochs ------------------------------------------------------------------
 
     def train_epoch(self, loader: DataLoader, epoch: int = 0) -> EpochResult:

@@ -33,8 +33,11 @@ from repro.tt.vbmf import evbmf, estimate_rank
 from repro.tt.ranks import (
     PAPER_RANKS_RESNET18,
     PAPER_RANKS_RESNET34,
+    admissible_rank_limits,
     estimate_tt_rank_for_weight,
     rank_for_layer,
+    rank_grid_for_layer,
+    scale_ranks,
 )
 from repro.tt.layers import HTTConv2d, PTTConv2d, STTConv2d, TTConv2dBase
 from repro.tt.reconstruct import merge_tt_layer, reconstruct_dense_weight, merge_model
@@ -56,8 +59,11 @@ __all__ = [
     "estimate_rank",
     "PAPER_RANKS_RESNET18",
     "PAPER_RANKS_RESNET34",
+    "admissible_rank_limits",
     "estimate_tt_rank_for_weight",
     "rank_for_layer",
+    "rank_grid_for_layer",
+    "scale_ranks",
     "STTConv2d",
     "PTTConv2d",
     "HTTConv2d",

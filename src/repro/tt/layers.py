@@ -41,7 +41,91 @@ from repro.nn.layers import Conv2d, _pair
 from repro.nn.module import Module, fold_time, unfold_time
 from repro.tt.decomposition import TTCores, max_tt_ranks, tt_decompose_conv
 
-__all__ = ["TTConv2dBase", "STTConv2d", "PTTConv2d", "HTTConv2d", "parse_htt_schedule"]
+__all__ = [
+    "TTConv2dBase",
+    "STTConv2d",
+    "PTTConv2d",
+    "HTTConv2d",
+    "parse_htt_schedule",
+    "stt_wiring",
+    "ptt_wiring",
+    "htt_step_wiring",
+    "htt_sequence_wiring",
+]
+
+
+# ---------------------------------------------------------------------------
+# Wiring functions
+# ---------------------------------------------------------------------------
+#
+# The three decomposition formats share the same four sub-convolutions and
+# differ only in how they are wired together.  The wiring lives in these
+# module-level functions, parameterised by four convolution *callables*, so
+# that other parameterisations of the same cores — in particular the
+# entangled supernet of :mod:`repro.search.supernet`, which applies the
+# convolutions through sliced views of shared max-rank weights — execute the
+# exact same operation sequence and stay bitwise-identical to the standalone
+# layers below.
+
+
+def stt_wiring(conv1, conv2, conv3, conv4, x: Tensor) -> Tensor:
+    """Sequential chain ``conv1 -> conv2 -> conv3 -> conv4`` (Fig. 1b)."""
+    out = conv1(x)
+    out = conv2(out)
+    out = conv3(out)
+    return conv4(out)
+
+
+def ptt_wiring(conv1, conv2, conv3, conv4, x: Tensor) -> Tensor:
+    """Parallel wiring of Eq. 5 (Fig. 1c): branches share conv1, sum into conv4."""
+    shared = conv1(x)
+    vertical = conv2(shared)
+    horizontal = conv3(shared)
+    return conv4(vertical + horizontal)
+
+
+def htt_step_wiring(conv1, conv2, conv3, conv4, x: Tensor, use_half: bool) -> Tensor:
+    """One HTT timestep (Fig. 2): PTT wiring, or the short path on half steps."""
+    shared = conv1(x)
+    if use_half:
+        return conv4(shared)
+    vertical = conv2(shared)
+    horizontal = conv3(shared)
+    return conv4(vertical + horizontal)
+
+
+def htt_sequence_wiring(conv1, conv2, conv3, conv4, x_seq: Tensor,
+                        flags: Sequence[bool]) -> Tensor:
+    """Schedule-aware fused HTT over a channels-last ``(T, N, H, W, C)`` sequence.
+
+    The convolution callables operate on folded channels-last ``(M, H, W, C)``
+    batches; ``flags[t]`` is ``True`` when timestep ``t`` takes the half path.
+    ``conv1`` runs once on the whole folded batch; the expensive
+    ``conv2``/``conv3`` pair then runs only on the timesteps the schedule
+    marks full, the half timesteps take the short ``conv1 -> conv4`` path,
+    and the two groups are re-interleaved into time order.
+    """
+    timesteps = x_seq.shape[0]
+    shared = unfold_time(conv1(fold_time(x_seq)), timesteps)
+    full_steps = [t for t, half in enumerate(flags) if not half]
+    half_steps = [t for t, half in enumerate(flags) if half]
+
+    if not half_steps:
+        folded = fold_time(shared)
+        out = conv4(conv2(folded) + conv3(folded))
+        return unfold_time(out, timesteps)
+    if not full_steps:
+        return unfold_time(conv4(fold_time(shared)), timesteps)
+
+    shared_full = fold_time(shared[full_steps])
+    out_full = unfold_time(
+        conv4(conv2(shared_full) + conv3(shared_full)), len(full_steps)
+    )
+    out_half = unfold_time(conv4(fold_time(shared[half_steps])), len(half_steps))
+    combined = Tensor.concatenate([out_full, out_half], axis=0)
+    # Rows are ordered full-then-half; scatter them back into time order.
+    order = np.argsort(np.asarray(full_steps + half_steps, dtype=np.int64))
+    return combined[list(order)]
 
 
 def parse_htt_schedule(schedule: Union[str, Sequence[bool]]) -> List[bool]:
@@ -237,16 +321,10 @@ class STTConv2d(TTConv2dBase):
     variant = "stt"
 
     def forward(self, x: Tensor) -> Tensor:
-        out = self.conv1(x)
-        out = self.conv2(out)
-        out = self.conv3(out)
-        return self.conv4(out)
+        return stt_wiring(self.conv1, self.conv2, self.conv3, self.conv4, x)
 
     def forward_channels_last(self, x: Tensor) -> Tensor:
-        out = self.conv1.forward_channels_last(x)
-        out = self.conv2.forward_channels_last(out)
-        out = self.conv3.forward_channels_last(out)
-        return self.conv4.forward_channels_last(out)
+        return stt_wiring(*(c.forward_channels_last for c in self.sub_convolutions()), x)
 
 
 class PTTConv2d(TTConv2dBase):
@@ -261,16 +339,10 @@ class PTTConv2d(TTConv2dBase):
     variant = "ptt"
 
     def forward(self, x: Tensor) -> Tensor:
-        shared = self.conv1(x)
-        vertical = self.conv2(shared)
-        horizontal = self.conv3(shared)
-        return self.conv4(vertical + horizontal)
+        return ptt_wiring(self.conv1, self.conv2, self.conv3, self.conv4, x)
 
     def forward_channels_last(self, x: Tensor) -> Tensor:
-        shared = self.conv1.forward_channels_last(x)
-        vertical = self.conv2.forward_channels_last(shared)
-        horizontal = self.conv3.forward_channels_last(shared)
-        return self.conv4.forward_channels_last(vertical + horizontal)
+        return ptt_wiring(*(c.forward_channels_last for c in self.sub_convolutions()), x)
 
 
 class HTTConv2d(TTConv2dBase):
@@ -336,12 +408,7 @@ class HTTConv2d(TTConv2dBase):
     def forward(self, x: Tensor) -> Tensor:
         use_half = self.half_timestep()
         self._t += 1
-        shared = self.conv1(x)
-        if use_half:
-            return self.conv4(shared)
-        vertical = self.conv2(shared)
-        horizontal = self.conv3(shared)
-        return self.conv4(vertical + horizontal)
+        return htt_step_wiring(self.conv1, self.conv2, self.conv3, self.conv4, x, use_half)
 
     def forward_channels_last(self, x: Tensor) -> Tensor:
         # Folded batches mix timesteps, so the schedule cannot be applied;
@@ -360,28 +427,8 @@ class HTTConv2d(TTConv2dBase):
         start = self._t
         flags = [self.half_timestep(start + t) for t in range(timesteps)]
         self._t = start + timesteps
-
         conv1, conv2, conv3, conv4 = (c.forward_channels_last for c in self.sub_convolutions())
-        shared = unfold_time(conv1(fold_time(x_seq)), timesteps)
-        full_steps = [t for t, half in enumerate(flags) if not half]
-        half_steps = [t for t, half in enumerate(flags) if half]
-
-        if not half_steps:
-            folded = fold_time(shared)
-            out = conv4(conv2(folded) + conv3(folded))
-            return unfold_time(out, timesteps)
-        if not full_steps:
-            return unfold_time(conv4(fold_time(shared)), timesteps)
-
-        shared_full = fold_time(shared[full_steps])
-        out_full = unfold_time(
-            conv4(conv2(shared_full) + conv3(shared_full)), len(full_steps)
-        )
-        out_half = unfold_time(conv4(fold_time(shared[half_steps])), len(half_steps))
-        combined = Tensor.concatenate([out_full, out_half], axis=0)
-        # Rows are ordered full-then-half; scatter them back into time order.
-        order = np.argsort(np.asarray(full_steps + half_steps, dtype=np.int64))
-        return combined[list(order)]
+        return htt_sequence_wiring(conv1, conv2, conv3, conv4, x_seq, flags)
 
     def extra_repr(self) -> str:
         schedule = "".join("H" if h else "F" for h in self.schedule)

@@ -10,17 +10,21 @@ re-running the 100-epoch GPU training.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.tt.decomposition import max_tt_ranks
 from repro.tt.vbmf import estimate_rank
 
 __all__ = [
     "PAPER_RANKS_RESNET18",
     "PAPER_RANKS_RESNET34",
+    "admissible_rank_limits",
     "estimate_tt_rank_for_weight",
     "rank_for_layer",
+    "rank_grid_for_layer",
     "scale_ranks",
 ]
 
@@ -58,8 +62,41 @@ def estimate_tt_rank_for_weight(weight: np.ndarray, min_rank: int = 1,
     return estimate_rank(unfolding, min_rank=min_rank, max_rank=min(max_rank, hard_limit))
 
 
+@lru_cache(maxsize=64)
+def _admissible_rank_limits_cached(architecture: str,
+                                   width_scale: float) -> Tuple[int, ...]:
+    # Imported lazily: models.builder imports tt.layers, so a module-level
+    # import here would be circular through the package __init__ files.
+    from repro.models.specs import model_layer_specs, scaled_width
+
+    limits: List[int] = []
+    for spec in model_layer_specs(architecture):
+        if spec.kind != "conv" or not spec.decomposable:
+            continue
+        in_c = scaled_width(spec.in_channels, width_scale)
+        out_c = scaled_width(spec.out_channels, width_scale)
+        limits.append(min(max_tt_ranks(in_c, out_c, spec.kernel_size)))
+    return tuple(limits)
+
+
+def admissible_rank_limits(architecture: str = "resnet18",
+                           width_scale: float = 1.0) -> List[int]:
+    """Per-decomposable-layer maximal admissible uniform TT-rank.
+
+    The uniform (paper-convention) rank of a layer is bounded by the minimum
+    over the three sequential-unfolding limits of its ``(I, K, K, O)`` weight
+    tensor (:func:`repro.tt.decomposition.max_tt_ranks`).  ``width_scale``
+    applies :func:`repro.models.specs.scaled_width` — the exact channel rule
+    the model builders use — so the limits describe the layers of a
+    laptop-scale (narrow) instantiation.  Results are cached per
+    ``(architecture, width_scale)``: looping :func:`rank_for_layer` over all
+    layers costs one spec construction, not one per call.
+    """
+    return list(_admissible_rank_limits_cached(architecture.lower(), float(width_scale)))
+
+
 def rank_for_layer(layer_index: int, architecture: str = "resnet18",
-                   scale: float = 1.0) -> int:
+                   scale: float = 1.0, clamp: bool = True) -> int:
     """Look up the paper's VBMF rank for layer ``layer_index`` of an architecture.
 
     Parameters
@@ -73,6 +110,11 @@ def rank_for_layer(layer_index: int, architecture: str = "resnet18",
         Width multiplier; when models are built at reduced width (as the
         laptop-scale experiments do) the rank is scaled proportionally and
         floored at 1.
+    clamp:
+        Clamp the result to the layer's maximal admissible TT-rank at that
+        width scale, so the returned rank can always be realised by an actual
+        decomposition (over-full ranks would otherwise be silently clipped by
+        the TT layers while analytics keep using the requested value).
     """
     tables: Dict[str, List[int]] = {
         "resnet18": PAPER_RANKS_RESNET18,
@@ -87,11 +129,87 @@ def rank_for_layer(layer_index: int, architecture: str = "resnet18",
             f"layer index {layer_index} out of range for {architecture} "
             f"({len(table)} decomposable layers)"
         )
-    return max(1, int(round(table[layer_index] * scale)))
+    rank = max(1, int(round(table[layer_index] * scale)))
+    if clamp:
+        rank = min(rank, admissible_rank_limits(key, width_scale=scale)[layer_index])
+    return rank
 
 
-def scale_ranks(ranks: Sequence[int], scale: float) -> List[int]:
-    """Scale a list of ranks by ``scale`` (floored at 1)."""
+def scale_ranks(ranks: Sequence[int], scale: float,
+                limits: Optional[Sequence[int]] = None) -> List[int]:
+    """Scale a list of ranks by ``scale`` (floored at 1).
+
+    When ``limits`` is given (one maximal admissible rank per layer, e.g.
+    from :func:`admissible_rank_limits`), each scaled rank is clamped to its
+    layer's limit instead of silently requesting an over-full core that the
+    TT layers would clip behind the caller's back.
+    """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
-    return [max(1, int(round(r * scale))) for r in ranks]
+    scaled = [max(1, int(round(r * scale))) for r in ranks]
+    if limits is None:
+        return scaled
+    limits = list(limits)
+    if len(limits) != len(scaled):
+        raise ValueError(
+            f"{len(scaled)} ranks but {len(limits)} per-layer limits were given"
+        )
+    return [min(r, limit) for r, limit in zip(scaled, limits)]
+
+
+#: Default rank-grid resolution: candidate ranks are snapped to multiples of
+#: this value (GEMM-friendly sub-convolution widths).
+DEFAULT_RANK_SNAP = 4
+
+#: Default fractions of the admissible limit probed by the rank grid.
+DEFAULT_RANK_FRACTIONS = (0.125, 0.25, 0.375, 0.5, 0.75, 1.0)
+
+
+def rank_grid_for_layer(
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int = 3,
+    snap: int = DEFAULT_RANK_SNAP,
+    fractions: Sequence[float] = DEFAULT_RANK_FRACTIONS,
+    min_rank: int = 1,
+    max_rank: Optional[int] = None,
+) -> List[int]:
+    """Valid TT-rank candidates for one layer, snapped to divisor-friendly values.
+
+    Produces an ascending, duplicate-free grid of uniform ranks: the given
+    ``fractions`` of the layer's maximal admissible rank, each rounded to the
+    nearest multiple of ``snap`` and clamped into ``[min_rank, limit]``.  The
+    grid is what the search space of :mod:`repro.search` samples from; the
+    largest entry doubles as the entangled supernet's core rank.
+
+    Parameters
+    ----------
+    in_channels, out_channels, kernel_size:
+        Shape of the dense convolution being decomposed.
+    snap:
+        Snap candidates to multiples of this value (1 disables snapping).
+    fractions:
+        Fractions of the admissible limit to probe.
+    min_rank:
+        Smallest admissible candidate.
+    max_rank:
+        Optional hard cap below the structural limit (bounds supernet size).
+    """
+    if snap < 1:
+        raise ValueError(f"snap must be >= 1, got {snap}")
+    if min_rank < 1:
+        raise ValueError(f"min_rank must be >= 1, got {min_rank}")
+    kh = kw = int(kernel_size)
+    limit = min(max_tt_ranks(in_channels, out_channels, (kh, kw)))
+    if max_rank is not None:
+        limit = min(limit, int(max_rank))
+    if limit < min_rank:
+        raise ValueError(
+            f"layer admits no rank >= {min_rank} (limit is {limit}) for "
+            f"({in_channels} -> {out_channels}, k={kernel_size})"
+        )
+    grid = set()
+    for fraction in fractions:
+        candidate = int(round(fraction * limit / snap)) * snap
+        grid.add(min(limit, max(min_rank, candidate)))
+    return sorted(grid)

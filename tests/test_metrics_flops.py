@@ -1,0 +1,102 @@
+"""Focused tests for :mod:`repro.metrics.flops` on HTT layers.
+
+The search cost model leans on the HTT accounting (full-path MACs on full
+timesteps, short-path MACs on half timesteps), so the per-layer arithmetic is
+cross-checked here against hand-computed values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.flops import (
+    compression_report_from_specs,
+    dense_model_macs,
+    mixed_format_report,
+    tt_model_macs,
+)
+from repro.models.specs import LayerSpec
+from repro.tt.compression import tt_conv_macs, tt_half_path_macs
+
+
+def _conv_spec(name="conv", in_c=8, out_c=16, k=3, hw=(8, 8), decomposable=True):
+    return LayerSpec(name=name, kind="conv", in_channels=in_c, out_channels=out_c,
+                     kernel_size=(k, k), stride=1, input_hw=hw, output_hw=hw,
+                     decomposable=decomposable)
+
+
+class TestHTTModelMacs:
+    def test_single_layer_hand_computed(self):
+        spec = _conv_spec()
+        rank, timesteps, half = 4, 4, 2
+        # Full path: r*I + r*r*K + r*r*K + O*r MACs per output position.
+        hw = 8 * 8
+        full = (4 * 8 + 4 * 4 * 3 + 4 * 4 * 3 + 16 * 4) * hw
+        short = (4 * 8 + 16 * 4) * hw
+        assert tt_conv_macs(8, 16, (3, 3), (4, 4, 4), (8, 8), (8, 8)) == full
+        assert tt_half_path_macs(8, 16, (4, 4, 4), (8, 8), (8, 8)) == short
+        expected = full * (timesteps - half) + short * half
+        assert tt_model_macs([spec], rank, timesteps, half_timesteps=half) == expected
+
+    def test_half_timesteps_zero_equals_ptt(self):
+        spec = _conv_spec()
+        assert tt_model_macs([spec], 4, 4, half_timesteps=0) == \
+            tt_model_macs([spec], 4, 4)
+
+    def test_all_half_timesteps_is_short_path_only(self):
+        spec = _conv_spec()
+        short = tt_half_path_macs(8, 16, (4, 4, 4), (8, 8), (8, 8))
+        assert tt_model_macs([spec], 4, 4, half_timesteps=4) == short * 4
+
+    def test_half_timesteps_bounds(self):
+        spec = _conv_spec()
+        with pytest.raises(ValueError):
+            tt_model_macs([spec], 4, 4, half_timesteps=5)
+        with pytest.raises(ValueError):
+            tt_model_macs([spec], 4, 4, half_timesteps=-1)
+
+    def test_non_decomposable_layers_run_densely_every_timestep(self):
+        specs = [_conv_spec(name="stem", decomposable=False), _conv_spec()]
+        timesteps = 4
+        dense_stem = specs[0].macs * timesteps
+        tt_only = tt_model_macs([specs[1]], 4, timesteps, half_timesteps=2)
+        assert tt_model_macs(specs, 4, timesteps, half_timesteps=2) == \
+            dense_stem + tt_only
+
+    def test_htt_report_cheaper_than_ptt_report(self):
+        specs = [_conv_spec()]
+        ptt = compression_report_from_specs(specs, 4, 4, half_timesteps=0)
+        htt = compression_report_from_specs(specs, 4, 4, half_timesteps=2)
+        assert htt.tt_macs < ptt.tt_macs
+        assert htt.tt_params == ptt.tt_params
+
+
+class TestMixedFormatReportPerLayer:
+    def test_per_layer_formats_add_up(self):
+        specs = [
+            _conv_spec(name="a"),
+            _conv_spec(name="b"),
+            _conv_spec(name="c"),
+        ]
+        timesteps, half = 4, 2
+        mixed = mixed_format_report(
+            specs, [("dense", 0), ("ptt", 4), ("htt", 4)], timesteps,
+            half_timesteps=half,
+        )
+        dense_m = dense_model_macs([specs[0]], timesteps)
+        ptt_m = tt_model_macs([specs[1]], 4, timesteps)
+        htt_m = tt_model_macs([specs[2]], 4, timesteps, half_timesteps=half)
+        assert mixed.tt_macs == dense_m + ptt_m + htt_m
+
+    def test_half_timesteps_only_affect_htt_layers(self):
+        specs = [_conv_spec(name="a"), _conv_spec(name="b")]
+        no_half = mixed_format_report(specs, [("ptt", 4), ("htt", 4)], 4,
+                                      half_timesteps=0)
+        with_half = mixed_format_report(specs, [("ptt", 4), ("htt", 4)], 4,
+                                        half_timesteps=2)
+        ptt_macs = tt_model_macs([specs[0]], 4, 4)
+        # The PTT layer contributes identically in both reports.
+        assert no_half.tt_macs - with_half.tt_macs == \
+            tt_model_macs([specs[1]], 4, 4) - \
+            tt_model_macs([specs[1]], 4, 4, half_timesteps=2)
+        assert ptt_macs < no_half.tt_macs

@@ -119,3 +119,99 @@ class TestSchedulers:
         opt = SGD([Parameter(np.ones(1))], lr=1.0)
         with pytest.raises(ValueError):
             CosineAnnealingLR(opt, t_max=0)
+
+
+class TestSchedulerWarmupAndRestore:
+    """Edge cases added with the search subsystem: warm-up boundary behaviour
+    and mid-schedule state restore (``state_dict`` / ``load_state_dict``)."""
+
+    def _sched(self, lr=0.1, t_max=10, warmup=3, start=0.1):
+        opt = SGD([Parameter(np.ones(1))], lr=lr)
+        return opt, CosineAnnealingLR(opt, t_max=t_max, warmup_epochs=warmup,
+                                      warmup_start_factor=start)
+
+    def test_constructing_with_warmup_applies_the_starting_lr(self):
+        # Trainers step the scheduler only after each epoch, so epoch 0 must
+        # already run at the ramp's starting LR, not the full base LR.
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=4, start=0.1)
+        assert opt.lr == pytest.approx(0.01)
+        # Without warm-up the constructor leaves the optimiser untouched.
+        opt2 = SGD([Parameter(np.ones(1))], lr=0.1)
+        CosineAnnealingLR(opt2, t_max=10)
+        assert opt2.lr == 0.1
+
+    def test_warmup_ramps_linearly_to_base_lr(self):
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=4, start=0.0)
+        lrs = [sched.step() for _ in range(4)]
+        # Linear ramp reaching the base LR exactly at the boundary epoch.
+        assert lrs[:3] == pytest.approx([0.025, 0.05, 0.075])
+        assert lrs[3] == pytest.approx(0.1)
+
+    def test_warmup_boundary_is_exactly_base_lr(self):
+        opt, sched = self._sched(lr=0.2, t_max=8, warmup=3, start=0.5)
+        for _ in range(2):
+            assert sched.step() < 0.2
+        assert sched.step() == pytest.approx(0.2)   # boundary epoch
+        assert sched.step() < 0.2                   # cosine decay has begun
+
+    def test_cosine_after_warmup_reaches_eta_min_at_t_max(self):
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=3)
+        lrs = [sched.step() for _ in range(12)]
+        assert lrs[9] == pytest.approx(0.0, abs=1e-12)
+        # Clamped beyond the horizon.
+        assert lrs[10] == lrs[11] == lrs[9]
+        # Monotone decrease after the boundary.
+        post = lrs[3:10]
+        assert all(a >= b for a, b in zip(post, post[1:]))
+
+    def test_no_warmup_matches_previous_behaviour(self):
+        opt_a = SGD([Parameter(np.ones(1))], lr=0.1)
+        plain = CosineAnnealingLR(opt_a, t_max=10)
+        opt_b = SGD([Parameter(np.ones(1))], lr=0.1)
+        warmless = CosineAnnealingLR(opt_b, t_max=10, warmup_epochs=0)
+        for _ in range(10):
+            assert plain.step() == pytest.approx(warmless.step())
+
+    def test_invalid_warmup_settings(self):
+        opt = SGD([Parameter(np.ones(1))], lr=0.1)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=5, warmup_epochs=5)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=5, warmup_epochs=-1)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(opt, t_max=5, warmup_epochs=2, warmup_start_factor=1.5)
+
+    def test_last_epoch_restore_reproduces_the_lr_sequence(self):
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=3)
+        for _ in range(5):
+            sched.step()
+        saved = sched.state_dict()
+        remaining_reference = [sched.step() for _ in range(5)]
+
+        # Fresh optimiser + scheduler restored from the snapshot.
+        opt2 = SGD([Parameter(np.ones(1))], lr=0.1)
+        resumed = CosineAnnealingLR(opt2, t_max=10, warmup_epochs=3)
+        resumed.load_state_dict(saved)
+        assert resumed.last_epoch == 5
+        remaining = [resumed.step() for _ in range(5)]
+        assert remaining == pytest.approx(remaining_reference)
+
+    def test_restore_applies_the_scheduled_lr(self):
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=3)
+        for _ in range(6):
+            sched.step()
+        expected_lr = opt.lr
+        opt2 = SGD([Parameter(np.ones(1))], lr=0.1)
+        resumed = CosineAnnealingLR(opt2, t_max=10, warmup_epochs=3)
+        resumed.load_state_dict(sched.state_dict())
+        assert opt2.lr == pytest.approx(expected_lr)
+
+    def test_state_dict_roundtrip_for_step_lr(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step(); sched.step(); sched.step()
+        opt2 = SGD([Parameter(np.ones(1))], lr=1.0)
+        resumed = StepLR(opt2, step_size=2, gamma=0.1)
+        resumed.load_state_dict(sched.state_dict())
+        assert opt2.lr == pytest.approx(opt.lr)
+        assert resumed.step() == pytest.approx(sched.step())

@@ -1,0 +1,180 @@
+"""Tests for the search cost model and the Pareto machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.accelerator import ExistingAcceleratorModel
+from repro.hardware.simulator import simulate_training_energy
+from repro.metrics.flops import compression_report_from_specs, mixed_format_report
+from repro.models.specs import resnet20_layer_specs
+from repro.search import (
+    CandidateCost,
+    LayerChoice,
+    ParetoPoint,
+    dominates,
+    model_cost,
+    pareto_front,
+    select_winner,
+)
+
+TIMESTEPS = 4
+SPECS = resnet20_layer_specs()
+NUM_DECOMPOSABLE = sum(1 for s in SPECS if s.kind == "conv" and s.decomposable)
+
+
+def uniform(fmt: str, rank: int = 8):
+    return tuple(LayerChoice(fmt, 0 if fmt == "dense" else rank)
+                 for _ in range(NUM_DECOMPOSABLE))
+
+
+class TestModelCost:
+    def test_uniform_ptt_matches_existing_accounting(self):
+        cost = model_cost(uniform("ptt", 8), SPECS, timesteps=TIMESTEPS)
+        report = compression_report_from_specs(SPECS, 8, TIMESTEPS, half_timesteps=0)
+        assert cost.params == report.tt_params
+        assert cost.macs == report.tt_macs
+
+    def test_uniform_htt_matches_existing_accounting(self):
+        cost = model_cost(uniform("htt", 8), SPECS, timesteps=TIMESTEPS,
+                          half_timesteps=2)
+        report = compression_report_from_specs(SPECS, 8, TIMESTEPS, half_timesteps=2)
+        assert cost.macs == report.tt_macs
+        # HTT skips branch work on half timesteps: strictly cheaper than PTT.
+        ptt = model_cost(uniform("ptt", 8), SPECS, timesteps=TIMESTEPS)
+        assert cost.macs < ptt.macs
+        assert cost.params == ptt.params  # same parameterisation
+
+    def test_all_dense_equals_baseline(self):
+        cost = model_cost(uniform("dense"), SPECS, timesteps=TIMESTEPS)
+        report = compression_report_from_specs(SPECS, 8, TIMESTEPS)
+        assert cost.params == report.dense_params
+        assert cost.macs == report.dense_macs
+
+    def test_cost_monotone_in_rank(self):
+        small = model_cost(uniform("ptt", 4), SPECS, timesteps=TIMESTEPS)
+        large = model_cost(uniform("ptt", 16), SPECS, timesteps=TIMESTEPS)
+        assert small.params < large.params
+        assert small.macs < large.macs
+
+    def test_mixed_config_counts_per_layer(self):
+        config = list(uniform("ptt", 8))
+        config[0] = LayerChoice("dense", 0)
+        config[1] = LayerChoice("stt", 4)
+        cost = model_cost(tuple(config), SPECS, timesteps=TIMESTEPS)
+        all_ptt = model_cost(uniform("ptt", 8), SPECS, timesteps=TIMESTEPS)
+        assert cost.params != all_ptt.params
+
+    def test_wrong_choice_count_raises(self):
+        with pytest.raises(ValueError):
+            model_cost(uniform("ptt")[:-1], SPECS, timesteps=TIMESTEPS)
+        with pytest.raises(ValueError):
+            model_cost(uniform("ptt") + (LayerChoice("ptt", 8),), SPECS,
+                       timesteps=TIMESTEPS)
+
+    def test_energy_requires_accelerator(self):
+        cost = model_cost(uniform("ptt", 8), SPECS, timesteps=TIMESTEPS)
+        assert cost.energy_pj is None
+        with pytest.raises(ValueError):
+            cost.scalar("energy_pj")
+
+    def test_uniform_energy_matches_simulator(self):
+        accelerator = ExistingAcceleratorModel()
+        for fmt, half in (("stt", 0), ("ptt", 0), ("htt", 2)):
+            cost = model_cost(uniform(fmt, 8), SPECS, timesteps=TIMESTEPS,
+                              half_timesteps=half, accelerator=accelerator)
+            reference = simulate_training_energy(
+                SPECS, fmt, accelerator, ranks=8, timesteps=TIMESTEPS,
+                half_timesteps=half,
+            )
+            assert cost.energy_pj == pytest.approx(reference.total_pj, rel=1e-9)
+
+    def test_dense_energy_matches_baseline_simulation(self):
+        accelerator = ExistingAcceleratorModel()
+        cost = model_cost(uniform("dense"), SPECS, timesteps=TIMESTEPS,
+                          accelerator=accelerator)
+        reference = simulate_training_energy(SPECS, "baseline", accelerator,
+                                             ranks=8, timesteps=TIMESTEPS)
+        assert cost.energy_pj == pytest.approx(reference.total_pj, rel=1e-9)
+
+
+class TestMixedFormatReport:
+    def test_uniform_equivalence(self):
+        assignments = [("ptt", 8)] * NUM_DECOMPOSABLE
+        mixed = mixed_format_report(SPECS, assignments, TIMESTEPS)
+        reference = compression_report_from_specs(SPECS, 8, TIMESTEPS)
+        assert mixed.tt_params == reference.tt_params
+        assert mixed.tt_macs == reference.tt_macs
+        assert mixed.dense_params == reference.dense_params
+
+    def test_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mixed_format_report(SPECS, [("ptt", 8)], TIMESTEPS)
+
+    def test_unknown_format_raises(self):
+        assignments = [("cp", 8)] + [("ptt", 8)] * (NUM_DECOMPOSABLE - 1)
+        with pytest.raises(ValueError):
+            mixed_format_report(SPECS, assignments, TIMESTEPS)
+
+
+def _point(fmt, rank, accuracy, macs):
+    config = (LayerChoice(fmt, rank),)
+    return ParetoPoint(config=config, accuracy=accuracy,
+                       cost=CandidateCost(params=macs // 10, macs=macs))
+
+
+class TestPareto:
+    def test_dominance(self):
+        better = _point("ptt", 8, 0.9, 100)
+        worse = _point("ptt", 4, 0.8, 200)
+        tie = _point("stt", 8, 0.9, 100)
+        assert dominates(better, worse)
+        assert not dominates(worse, better)
+        assert not dominates(better, tie) and not dominates(tie, better)
+
+    def test_front_extraction_sorted_by_cost(self):
+        points = [
+            _point("ptt", 2, 0.60, 50),
+            _point("ptt", 4, 0.75, 100),
+            _point("ptt", 8, 0.90, 200),
+            _point("stt", 4, 0.70, 120),   # dominated by ("ptt", 4)
+            _point("stt", 8, 0.85, 250),   # dominated by ("ptt", 8)
+        ]
+        front = pareto_front(points)
+        assert [p.accuracy for p in front] == [0.60, 0.75, 0.90]
+        costs = [p.cost.scalar("macs") for p in front]
+        assert costs == sorted(costs)
+
+    def test_duplicate_configs_collapsed(self):
+        a = _point("ptt", 8, 0.80, 100)
+        b = _point("ptt", 8, 0.85, 100)   # re-evaluation of the same config
+        front = pareto_front([a, b])
+        assert len(front) == 1 and front[0].accuracy == 0.85
+
+    def test_select_modes(self):
+        front = pareto_front([
+            _point("ptt", 2, 0.60, 50),
+            _point("ptt", 4, 0.85, 100),
+            _point("ptt", 8, 0.90, 400),
+        ])
+        assert select_winner(front, mode="accuracy").accuracy == 0.90
+        assert select_winner(front, mode="cost").cost.scalar("macs") == 50
+        budget = select_winner(front, mode="budget", budget=150)
+        assert budget.accuracy == 0.85
+        # Nothing affordable -> cheapest.
+        assert select_winner(front, mode="budget", budget=10).cost.scalar("macs") == 50
+        # The middle point is far above the chord: the knee.
+        assert select_winner(front, mode="knee").accuracy == 0.85
+
+    def test_knee_degenerate_falls_back_to_accuracy(self):
+        front = pareto_front([_point("ptt", 2, 0.6, 50), _point("ptt", 8, 0.9, 400)])
+        assert select_winner(front, mode="knee").accuracy == 0.9
+
+    def test_empty_front_raises(self):
+        with pytest.raises(ValueError):
+            select_winner([], mode="accuracy")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            select_winner([_point("ptt", 2, 0.6, 50)], mode="magic")

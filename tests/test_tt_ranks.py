@@ -1,0 +1,82 @@
+"""Tests for rank helpers: admissible limits, clamping, and the search grid.
+
+The regression of record: ``scale_ranks`` / ``rank_for_layer`` used to return
+ranks larger than what a narrow (width-scaled) layer can actually realise;
+the TT layers would silently clip while every analytic consumer (FLOPs,
+energy, compression ratios) kept using the requested value.  Both helpers now
+clamp to the layer's maximal admissible rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tt.decomposition import max_tt_ranks
+from repro.tt.layers import PTTConv2d
+from repro.tt.ranks import (
+    PAPER_RANKS_RESNET18,
+    admissible_rank_limits,
+    rank_for_layer,
+    scale_ranks,
+)
+
+
+class TestAdmissibleLimits:
+    def test_full_scale_resnet18(self):
+        limits = admissible_rank_limits("resnet18")
+        assert len(limits) == len(PAPER_RANKS_RESNET18)
+        # Layer 0 is 64 -> 64 with a 3x3 kernel: the uniform rank tops out at 64.
+        assert limits[0] == min(max_tt_ranks(64, 64, (3, 3)))
+        # All paper ranks are admissible at full width.
+        assert all(r <= limit for r, limit in zip(PAPER_RANKS_RESNET18, limits))
+
+    def test_width_scaling_shrinks_limits(self):
+        full = admissible_rank_limits("resnet18", width_scale=1.0)
+        narrow = admissible_rank_limits("resnet18", width_scale=0.25)
+        assert all(n <= f for n, f in zip(narrow, full))
+        assert any(n < f for n, f in zip(narrow, full))
+
+
+class TestClampRegression:
+    def test_scale_ranks_clamps_overfull_ranks(self):
+        limits = admissible_rank_limits("resnet18", width_scale=0.25)
+        unclamped = scale_ranks(PAPER_RANKS_RESNET18, 1.0)
+        clamped = scale_ranks(PAPER_RANKS_RESNET18, 1.0, limits=limits)
+        # The deep layers' paper ranks (e.g. 153, 186) exceed the narrow
+        # model's limits; unclamped they silently request over-full cores.
+        assert any(u > limit for u, limit in zip(unclamped, limits))
+        assert all(c <= limit for c, limit in zip(clamped, limits))
+
+    def test_clamped_rank_matches_what_the_layer_actually_builds(self):
+        """The built layer's effective ranks equal the clamped request."""
+        limits = admissible_rank_limits("resnet18", width_scale=0.25)
+        clamped = scale_ranks(PAPER_RANKS_RESNET18, 1.0, limits=limits)
+        # Layer 13 at width 0.25: 153 requested on a 128-channel convolution.
+        index = 13
+        requested = PAPER_RANKS_RESNET18[index]
+        in_c = out_c = 128  # 512-wide stage at width_scale 0.25
+        assert requested > clamped[index]
+        layer = PTTConv2d(in_c, out_c, kernel_size=3, rank=requested)
+        assert layer.ranks == (clamped[index],) * 3
+
+    def test_scale_ranks_limits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scale_ranks([8, 8], 1.0, limits=[8])
+
+    def test_rank_for_layer_clamps_by_default(self):
+        # Layer 14's paper rank is 186; at width 0.1 the layer is 51 channels
+        # wide, so the scaled rank must respect the shrunken limit.
+        rank = rank_for_layer(14, "resnet18", scale=0.1)
+        limit = admissible_rank_limits("resnet18", width_scale=0.1)[14]
+        assert rank <= limit
+        unclamped = rank_for_layer(14, "resnet18", scale=0.1, clamp=False)
+        assert unclamped == max(1, round(186 * 0.1))
+
+    def test_existing_behaviour_preserved_at_full_scale(self):
+        # Paper ranks are all admissible at width 1, so clamping is a no-op.
+        for index in range(len(PAPER_RANKS_RESNET18)):
+            assert rank_for_layer(index, "resnet18") == PAPER_RANKS_RESNET18[index]
+
+    def test_scale_ranks_without_limits_unchanged(self):
+        assert scale_ranks([10, 20], 0.5) == [5, 10]
