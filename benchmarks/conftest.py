@@ -28,3 +28,28 @@ BENCH_SCALE = {
 @pytest.fixture(scope="session")
 def bench_rng() -> np.random.Generator:
     return np.random.default_rng(2024)
+
+
+def ab_median(fn_a, fn_b, calls: int = 3, trials: int = 9):
+    """Interleaved A/B timing compared by *medians* of per-trial means.
+
+    Both sides alternate inside every trial, so slow machine drift (thermal
+    throttling, a concurrently running test in the full suite) hits them
+    equally; the median discards outlier trials entirely instead of letting
+    them shift an average.  Shared by the runtime and graph-optimizer
+    benchmarks so their methodology can never diverge.
+    """
+    import statistics
+    import time
+
+    times_a, times_b = [], []
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn_a()
+        times_a.append((time.perf_counter() - start) / calls)
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn_b()
+        times_b.append((time.perf_counter() - start) / calls)
+    return statistics.median(times_a), statistics.median(times_b)

@@ -16,7 +16,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor
+from repro.autograd.tensor import Function, Tensor, as_tensor, ws_buf
 
 __all__ = [
     "conv2d",
@@ -66,9 +66,11 @@ def im2col(
     kernel_hw: Tuple[int, int],
     stride: IntOrPair = 1,
     padding: IntOrPair = 0,
+    ctx=None,
+    key: str = "",
 ) -> np.ndarray:
     """Lower ``x (N, C, H, W)`` into column form ``(N, C*kh*kw, out_h*out_w)``."""
-    return _im2col_batched(x, kernel_hw, stride, padding)
+    return _im2col_batched(x, kernel_hw, stride, padding, ctx=ctx, key=key)
 
 
 def col2im(
@@ -102,6 +104,8 @@ def _im2col_batched(
     kernel_hw: Tuple[int, int],
     stride: IntOrPair = 1,
     padding: IntOrPair = 0,
+    ctx=None,
+    key: str = "",
 ) -> np.ndarray:
     """Lower ``x (N, C, H, W)`` into batched columns ``(N, C*kh*kw, out_h*out_w)``.
 
@@ -109,17 +113,27 @@ def _im2col_batched(
     ``(O, K) @ (N, K, L) -> (N, O, L)`` — so the convolution output lands
     directly in ``(N, O, ...)`` order with no transpose copy, and a
     time-folded ``(T*N, ...)`` batch runs through one strided-BLAS call.
+
+    ``ctx``/``key`` route the padded image and the column copy through the
+    context's persistent workspace when one is installed (compiled replays);
+    without a workspace the behaviour is the original allocate-per-call one.
     """
     n, c, h, w = x.shape
     kh, kw = kernel_hw
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+    ws = getattr(ctx, "_ws", None) if ctx is not None else None
 
     if ph or pw:
-        # Direct zero-fill + slice assignment: same result as np.pad without
-        # its per-call Python overhead (this runs once per conv per step).
-        padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+        if ws is None:
+            # Direct zero-fill + slice assignment: same result as np.pad
+            # without its per-call Python overhead.
+            padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+        else:
+            # Persistent pad buffer: the border is zeroed once at creation
+            # and never written again; only the interior is refreshed.
+            padded = ws.buf(key + "pad", (n, c, h + 2 * ph, w + 2 * pw), x.dtype, zero=True)
         padded[:, :, ph:ph + h, pw:pw + w] = x
         x = padded
 
@@ -128,7 +142,11 @@ def _im2col_batched(
     shape = (n, c, kh, kw, out_h, out_w)
     strides = (stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    return patches.reshape(n, c * kh * kw, out_h * out_w)
+    if ws is None:
+        return patches.reshape(n, c * kh * kw, out_h * out_w)
+    cols = ws.buf(key + "cols", (n, c * kh * kw, out_h * out_w), x.dtype)
+    np.copyto(cols.reshape(shape), patches)
+    return cols
 
 
 class Conv2dFunction(Function):
@@ -148,6 +166,11 @@ class Conv2dFunction(Function):
     strided col2im scatter on the BPTT hot path.
     """
 
+    #: Cleared by the graph optimizer when the convolution's input slot
+    #: needs no gradient (e.g. the network input): backward then skips the
+    #: entire input-gradient GEMM + column gather.
+    input_needs_grad = True
+
     def __init__(self, stride: IntOrPair = 1, padding: IntOrPair = 0):
         self.stride = _pair(stride)
         self.padding = _pair(padding)
@@ -157,6 +180,13 @@ class Conv2dFunction(Function):
         self._has_bias = False
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:
+        return self._compute(arrays, save=True)
+
+    def forward_inference(self, *arrays: np.ndarray) -> np.ndarray:
+        """Forward without retaining the im2col columns (no-grad replay path)."""
+        return self._compute(arrays, save=False)
+
+    def _compute(self, arrays, save: bool) -> np.ndarray:
         if len(arrays) == 3:
             x, weight, bias = arrays
             self._has_bias = True
@@ -169,15 +199,22 @@ class Conv2dFunction(Function):
             raise ValueError(f"input channels {c} do not match weight channels {in_c}")
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
 
-        cols = _im2col_batched(x, (kh, kw), self.stride, self.padding)  # (N, K, L)
+        cols = _im2col_batched(x, (kh, kw), self.stride, self.padding,
+                               ctx=self, key="f")                       # (N, K, L)
         w_mat = weight.reshape(out_c, -1)                               # (O, K)
-        out = np.matmul(w_mat, cols).reshape(n, out_c, out_h, out_w)
+        if self._ws is None:
+            out = np.matmul(w_mat, cols)
+        else:
+            out = ws_buf(self, "out", (n, out_c, out_h * out_w), x.dtype)
+            np.matmul(w_mat, cols, out=out)
+        out = out.reshape(n, out_c, out_h, out_w)
         if bias is not None:
             out = out + bias.reshape(1, out_c, 1, 1)
 
-        self._x_shape = x.shape
-        self._cols = cols
-        self._weight = weight
+        if save:
+            self._x_shape = x.shape
+            self._cols = cols
+            self._weight = weight
         return out.astype(x.dtype, copy=False)
 
     def backward(self, grad_output: np.ndarray):
@@ -191,19 +228,35 @@ class Conv2dFunction(Function):
         grad_weight = np.matmul(grad_nol, self._cols.transpose(0, 2, 1)).sum(axis=0)
         grad_weight = grad_weight.reshape(weight.shape)
 
+        if not self.input_needs_grad:
+            if self._has_bias:
+                return None, grad_weight, grad_output.sum(axis=(0, 2, 3))
+            return None, grad_weight
+
         sh, sw = self.stride
         ph, pw = self.padding
         if sh == 1 and sw == 1 and kh - 1 >= ph and kw - 1 >= pw:
             # Stride-1 input gradient as a direct correlation: convolve the
             # grad with the flipped, channel-transposed kernel.
-            w_flip = np.ascontiguousarray(
-                weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
-            ).reshape(in_c, -1)                                         # (C, O*kh*kw)
+            if self._ws is None:
+                w_flip = np.ascontiguousarray(
+                    weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+                ).reshape(in_c, -1)                                     # (C, O*kh*kw)
+            else:
+                w_flip = ws_buf(self, "wflip", (in_c, out_c, kh, kw), weight.dtype)
+                np.copyto(w_flip, weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3))
+                w_flip = w_flip.reshape(in_c, -1)
             g_cols = _im2col_batched(
-                grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw)
+                grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw),
+                ctx=self, key="g",
             )                                                           # (N, O*kh*kw, H*W)
             h, w = self._x_shape[2], self._x_shape[3]
-            grad_x = np.matmul(w_flip, g_cols).reshape(n, in_c, h, w)
+            if self._ws is None:
+                grad_x = np.matmul(w_flip, g_cols)
+            else:
+                grad_x = ws_buf(self, "gx", (n, in_c, h * w), grad_output.dtype)
+                np.matmul(w_flip, g_cols, out=grad_x)
+            grad_x = grad_x.reshape(n, in_c, h, w)
         else:
             w_mat = weight.reshape(out_c, -1)
             grad_cols = np.matmul(w_mat.T, grad_nol)                    # (N, K, L)
@@ -248,18 +301,29 @@ def _im2col_cl(
     kernel_hw: Tuple[int, int],
     stride: IntOrPair = 1,
     padding: IntOrPair = 0,
+    ctx=None,
+    key: str = "",
 ) -> np.ndarray:
-    """Lower channels-last ``x (M, H, W, C)`` into ``(M*out_h*out_w, kh*kw*C)`` columns."""
+    """Lower channels-last ``x (M, H, W, C)`` into ``(M*out_h*out_w, kh*kw*C)`` columns.
+
+    With a workspace installed on ``ctx`` (compiled replays) the padded image
+    and the column gather land in persistent buffers — the pad border is
+    zeroed once at buffer creation and never touched again.
+    """
     m, h, w, c = x.shape
     kh, kw = kernel_hw
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     out_h, out_w = conv2d_output_shape((h, w), (kh, kw), (sh, sw), (ph, pw))
+    ws = getattr(ctx, "_ws", None) if ctx is not None else None
 
     if ph or pw:
-        # Direct zero-fill + slice assignment: same result as np.pad without
-        # its per-call Python overhead (this runs once per conv per step).
-        padded = np.zeros((m, h + 2 * ph, w + 2 * pw, c), dtype=x.dtype)
+        if ws is None:
+            # Direct zero-fill + slice assignment: same result as np.pad
+            # without its per-call Python overhead.
+            padded = np.zeros((m, h + 2 * ph, w + 2 * pw, c), dtype=x.dtype)
+        else:
+            padded = ws.buf(key + "pad", (m, h + 2 * ph, w + 2 * pw, c), x.dtype, zero=True)
         padded[:, ph:ph + h, pw:pw + w, :] = x
         x = padded
 
@@ -267,7 +331,11 @@ def _im2col_cl(
     shape = (m, out_h, out_w, kh, kw, c)
     strides = (stride_m, stride_h * sh, stride_w * sw, stride_h, stride_w, stride_c)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    return patches.reshape(m * out_h * out_w, kh * kw * c)
+    if ws is None:
+        return patches.reshape(m * out_h * out_w, kh * kw * c)
+    cols = ws.buf(key + "cols", (m * out_h * out_w, kh * kw * c), x.dtype)
+    np.copyto(cols.reshape(shape), patches)
+    return cols
 
 
 def _col2im_cl(
@@ -304,6 +372,11 @@ class ConvChannelsLastFunction(Function):
     tensor happens per call).  Output is ``(M, out_h, out_w, O)``.
     """
 
+    #: Cleared by the graph optimizer when the convolution's input slot
+    #: needs no gradient (e.g. the network input): backward then skips the
+    #: entire input-gradient GEMM + column gather.
+    input_needs_grad = True
+
     def __init__(self, stride: IntOrPair = 1, padding: IntOrPair = 0):
         self.stride = _pair(stride)
         self.padding = _pair(padding)
@@ -312,6 +385,11 @@ class ConvChannelsLastFunction(Function):
         self._weight: Optional[np.ndarray] = None
         self._is_1x1 = False
         self._has_bias = False
+        # Set by the graph optimizer on no-grad plans whose weights are baked
+        # constants: the (kh*kw*C, O) kernel matrix is then built once and
+        # reused by every replay instead of being re-gathered per call.
+        self.freeze_weights = False
+        self._frozen_wmat: Optional[np.ndarray] = None
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:
         return self._compute(arrays, save=True)
@@ -319,6 +397,37 @@ class ConvChannelsLastFunction(Function):
     def forward_inference(self, *arrays: np.ndarray) -> np.ndarray:
         """Forward without retaining the im2col columns (no-grad replay path)."""
         return self._compute(arrays, save=False)
+
+    def _w_mat(self, weight: np.ndarray) -> np.ndarray:
+        """Kernel matrix in column order ``(i, j, c) -> o``.
+
+        Memory layout is load-bearing for bitwise equivalence: BLAS sums in
+        a different order for transposed operands, so the workspace/frozen
+        variants must reproduce the exact layout of the original expression
+        ``weight.transpose(2, 3, 1, 0).reshape(kh*kw*in_c, out_c)`` — a
+        strided *view* for 1x1 kernels, a C-contiguous copy otherwise.
+        """
+        out_c, in_c, kh, kw = weight.shape
+        if self._frozen_wmat is not None:
+            return self._frozen_wmat
+        if kh == 1 and kw == 1:
+            # The transpose-reshape is a free view here; keep it (and keep
+            # its layout when freezing: copy first, transpose after).
+            w_mat = weight.reshape(out_c, in_c).T
+            if self.freeze_weights:
+                self._frozen_wmat = weight.reshape(out_c, in_c).copy().T
+                return self._frozen_wmat
+            return w_mat
+        if self._ws is None:
+            w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * in_c, out_c)
+        else:
+            w_mat = ws_buf(self, "wmat", (kh, kw, in_c, out_c), weight.dtype)
+            np.copyto(w_mat, weight.transpose(2, 3, 1, 0))
+            w_mat = w_mat.reshape(kh * kw * in_c, out_c)
+        if self.freeze_weights:
+            self._frozen_wmat = np.ascontiguousarray(w_mat)
+            return self._frozen_wmat
+        return w_mat
 
     def _compute(self, arrays, save: bool) -> np.ndarray:
         if len(arrays) == 3:
@@ -339,12 +448,21 @@ class ConvChannelsLastFunction(Function):
             view = x[:, ::sh, ::sw, :] if (sh, sw) != (1, 1) else x
             cols = view.reshape(-1, c)          # no-copy for stride 1, gathered otherwise
         else:
-            cols = _im2col_cl(x, (kh, kw), self.stride, self.padding)   # (M*L, kh*kw*C)
+            cols = _im2col_cl(x, (kh, kw), self.stride, self.padding,
+                              ctx=self, key="f")                        # (M*L, kh*kw*C)
         # Column order is (i, j, c): arrange the kernel matrix to match.
-        w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * in_c, out_c)
-        out = (cols @ w_mat).reshape(m, out_h, out_w, out_c)
+        w_mat = self._w_mat(weight)
+        if self._ws is None:
+            out = cols @ w_mat
+        else:
+            out = ws_buf(self, "out", (m * out_h * out_w, out_c), x.dtype)
+            np.matmul(cols, w_mat, out=out)
+        out = out.reshape(m, out_h, out_w, out_c)
         if bias is not None:
-            out = out + bias
+            if self._ws is None:
+                out = out + bias
+            else:
+                out += bias
 
         if save:
             self._x_shape = x.shape
@@ -359,23 +477,51 @@ class ConvChannelsLastFunction(Function):
         grad_flat = grad_output.reshape(-1, out_c)                      # (M*L, O)
 
         # (K, M*L) @ (M*L, O): the transposed operand stays a BLAS view.
-        grad_w_mat = self._cols.T @ grad_flat                           # (kh*kw*C, O)
-        grad_weight = np.ascontiguousarray(
-            grad_w_mat.reshape(kh, kw, in_c, out_c).transpose(3, 2, 0, 1)
-        )
+        if self._ws is None:
+            grad_w_mat = self._cols.T @ grad_flat                       # (kh*kw*C, O)
+            grad_weight = np.ascontiguousarray(
+                grad_w_mat.reshape(kh, kw, in_c, out_c).transpose(3, 2, 0, 1)
+            )
+        else:
+            grad_w_mat = ws_buf(self, "gwm", (kh * kw * in_c, out_c), grad_output.dtype)
+            np.matmul(self._cols.T, grad_flat, out=grad_w_mat)
+            grad_weight = ws_buf(self, "gw", weight.shape, grad_output.dtype)
+            np.copyto(grad_weight,
+                      grad_w_mat.reshape(kh, kw, in_c, out_c).transpose(3, 2, 0, 1))
+
+        if not self.input_needs_grad:
+            if self._has_bias:
+                return None, grad_weight, grad_flat.sum(axis=0)
+            return None, grad_weight
 
         sh, sw = self.stride
         ph, pw = self.padding
         if self._is_1x1 and (sh, sw) == (1, 1):
-            grad_x = (grad_flat @ weight.reshape(out_c, in_c)).reshape(self._x_shape)
+            if self._ws is None:
+                grad_x = (grad_flat @ weight.reshape(out_c, in_c)).reshape(self._x_shape)
+            else:
+                grad_x = ws_buf(self, "gx", (m * h * w, in_c), grad_output.dtype)
+                np.matmul(grad_flat, weight.reshape(out_c, in_c), out=grad_x)
+                grad_x = grad_x.reshape(self._x_shape)
         elif (sh, sw) == (1, 1) and kh - 1 >= ph and kw - 1 >= pw:
             # Stride-1 input gradient as a direct correlation with the
             # flipped kernel — another single GEMM on a gathered view.
-            w_flip = np.ascontiguousarray(
-                weight.transpose(2, 3, 0, 1)[::-1, ::-1]
-            ).reshape(kh * kw * out_c, in_c)                            # rows in (i, j, o) order
-            g_cols = _im2col_cl(grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw))
-            grad_x = (g_cols @ w_flip).reshape(self._x_shape)
+            if self._ws is None:
+                w_flip = np.ascontiguousarray(
+                    weight.transpose(2, 3, 0, 1)[::-1, ::-1]
+                ).reshape(kh * kw * out_c, in_c)                        # rows in (i, j, o) order
+            else:
+                w_flip = ws_buf(self, "wflip", (kh, kw, out_c, in_c), weight.dtype)
+                np.copyto(w_flip, weight.transpose(2, 3, 0, 1)[::-1, ::-1])
+                w_flip = w_flip.reshape(kh * kw * out_c, in_c)
+            g_cols = _im2col_cl(grad_output, (kh, kw), 1, (kh - 1 - ph, kw - 1 - pw),
+                                ctx=self, key="g")
+            if self._ws is None:
+                grad_x = (g_cols @ w_flip).reshape(self._x_shape)
+            else:
+                grad_x = ws_buf(self, "gx", (m * h * w, in_c), grad_output.dtype)
+                np.matmul(g_cols, w_flip, out=grad_x)
+                grad_x = grad_x.reshape(self._x_shape)
         else:
             w_mat = weight.transpose(2, 3, 1, 0).reshape(kh * kw * in_c, out_c)
             grad_cols = grad_flat @ w_mat.T                             # (M*L, kh*kw*C)

@@ -12,7 +12,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor, record_op
+from repro.autograd.tensor import Function, Tensor, as_tensor, record_op, ws_buf
 from repro.autograd.conv import _pair, conv2d_output_shape, im2col
 
 __all__ = [
@@ -178,7 +178,7 @@ class _AvgPool2dFunction(Function):
         n, c, h, w = x.shape
         kh, kw = self.kernel
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
-        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding, ctx=self, key="f")
         cols = cols.reshape(n, c, kh * kw, out_h * out_w)
         self._x_shape = x.shape
         return cols.mean(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype)
@@ -196,17 +196,53 @@ class _AvgPool2dFunction(Function):
         return (grad_x,)
 
 
-def _window_max_first_wins(views):
+def _window_max_first_wins(views, best_out=None, arg_out=None, select=False):
     """First-wins max + window-index map over kernel-position views.
 
     ``views`` lists the slices of each kernel position in ``argmax`` order;
     strict ``>`` keeps the earlier position on ties, matching
     ``cols.argmax(axis)`` semantics — which matters because spike maps are
     binary and tie constantly.  Shared by the NCHW and channels-last pools
-    so their tie-breaking can never diverge.
+    so their tie-breaking can never diverge.  ``best_out``/``arg_out`` are
+    optional persistent buffers (compiled replays).
+
+    ``select=True`` switches the update from masked ``np.copyto`` to
+    ``np.where`` selects — bit-for-bit the same result (pure selection, same
+    strict-``>`` tie-breaking) but substantially faster, because NumPy's
+    masked copy is much slower than a vectorised select.  Used by the graph
+    optimizer's specialized pool kernels.
     """
-    best = views[0].copy()
-    arg = np.zeros(best.shape, dtype=np.int8)
+    if select:
+        best = views[0]
+        arg = None
+        for k, candidate in enumerate(views[1:], start=1):
+            better = candidate > best
+            best = np.where(better, candidate, best)
+            arg = np.where(better, np.int8(k),
+                           arg if arg is not None else np.int8(0))
+        if arg is None:
+            arg = np.zeros(best.shape, dtype=np.int8)
+        # Land the results in the persistent buffers so downstream cached
+        # views keep a stable base array across replays.
+        if best_out is not None:
+            np.copyto(best_out, best)
+            best = best_out
+        elif best is views[0]:
+            best = best.copy()
+        if arg_out is not None:
+            np.copyto(arg_out, arg)
+            arg = arg_out
+        return best, arg
+    if best_out is None:
+        best = views[0].copy()
+    else:
+        best = best_out
+        np.copyto(best, views[0])
+    if arg_out is None:
+        arg = np.zeros(best.shape, dtype=np.int8)
+    else:
+        arg = arg_out
+        arg.fill(0)
     for k, candidate in enumerate(views[1:], start=1):
         better = candidate > best
         np.copyto(best, candidate, where=better)
@@ -214,8 +250,19 @@ def _window_max_first_wins(views):
     return best, arg
 
 
-def _window_max_scatter_grad(grad_views, grad_output, argmax):
-    """Scatter ``grad_output`` into the winning window position of each view."""
+def _window_max_scatter_grad(grad_views, grad_output, argmax, select=False):
+    """Scatter ``grad_output`` into the winning window position of each view.
+
+    The ``select`` variant writes ``grad * (argmax == k)`` into each
+    (non-overlapping, jointly covering) window view — the same values as the
+    masked copy over a zeroed buffer (up to the sign of zero, which no
+    consumer can observe), without masked-copy cost and without requiring
+    the buffer to be pre-zeroed.
+    """
+    if select:
+        for k, view in enumerate(grad_views):
+            np.multiply(grad_output, argmax == k, out=view)
+        return
     for k, view in enumerate(grad_views):
         np.copyto(view, grad_output, where=(argmax == k))
 
@@ -229,6 +276,10 @@ class _MaxPool2dFunction(Function):
     to the general im2col lowering.  Tie-breaking matches ``argmax`` (first
     window element wins), which matters because spike maps are binary.
     """
+
+    #: Switched on by the graph optimizer's specialized kernels: use the
+    #: select-based (bitwise-identical, faster) window max / scatter.
+    fast_select = False
 
     def __init__(self, kernel_size, stride=None, padding=0):
         self.kernel = _pair(kernel_size)
@@ -254,7 +305,14 @@ class _MaxPool2dFunction(Function):
         )
         if self._fast:
             self._x_shape = x.shape
-            best, self._argmax = _window_max_first_wins(list(self._window_views(x)))
+            out_shape = (n, c, h // kh, w // kw)
+            best_out = arg_out = None
+            if self._ws is not None:
+                best_out = ws_buf(self, "out", out_shape, x.dtype)
+                arg_out = ws_buf(self, "arg", out_shape, np.int8)
+            best, self._argmax = _window_max_first_wins(list(self._window_views(x)),
+                                                        best_out, arg_out,
+                                                        select=self.fast_select)
             return best
         return self._forward_general(x)
 
@@ -270,7 +328,7 @@ class _MaxPool2dFunction(Function):
                 np.maximum(best, candidate, out=best)
             return best
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
-        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding, ctx=self, key="f")
         cols = cols.reshape(n, c, kh * kw, out_h * out_w)
         return cols.max(axis=2).reshape(n, c, out_h, out_w).astype(x.dtype, copy=False)
 
@@ -278,7 +336,7 @@ class _MaxPool2dFunction(Function):
         n, c, h, w = x.shape
         kh, kw = self.kernel
         out_h, out_w = conv2d_output_shape((h, w), (kh, kw), self.stride, self.padding)
-        cols = im2col(x, (kh, kw), self.stride, self.padding)
+        cols = im2col(x, (kh, kw), self.stride, self.padding, ctx=self, key="f")
         cols = cols.reshape(n, c, kh * kw, out_h * out_w)
         self._x_shape = x.shape
         # One reduction pass: argmax, then gather the winners.
@@ -288,8 +346,16 @@ class _MaxPool2dFunction(Function):
 
     def backward(self, grad_output: np.ndarray):
         if self._fast:
-            grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
-            _window_max_scatter_grad(self._window_views(grad_x), grad_output, self._argmax)
+            if self.fast_select:
+                # The window views jointly cover grad_x, so no pre-zeroing.
+                grad_x = ws_buf(self, "gx", self._x_shape, grad_output.dtype)
+            elif self._ws is None:
+                grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
+            else:
+                grad_x = ws_buf(self, "gx", self._x_shape, grad_output.dtype)
+                grad_x.fill(0.0)
+            _window_max_scatter_grad(self._window_views(grad_x), grad_output,
+                                     self._argmax, select=self.fast_select)
             return (grad_x,)
         from repro.autograd.conv import col2im
 
@@ -313,6 +379,10 @@ class _ChannelsLastPoolBase(Function):
     to the general functions (correct, just slower).
     """
 
+    #: Switched on by the graph optimizer's specialized kernels: use the
+    #: select-based (bitwise-identical, faster) window max / scatter.
+    fast_select = False
+
     def __init__(self, kernel_size, stride=None, padding=0):
         self.kernel = _pair(kernel_size)
         self.stride = _pair(stride if stride is not None else kernel_size)
@@ -334,6 +404,8 @@ class _ChannelsLastPoolBase(Function):
 
     def _fallback_forward(self, x: np.ndarray, cls) -> np.ndarray:
         self._fallback = cls(self.kernel, self.stride, self.padding)
+        self._fallback.set_workspace(self._ws)
+        self._fallback.fast_select = self.fast_select
         out = self._fallback.forward(np.ascontiguousarray(x.transpose(0, 3, 1, 2)))
         return np.ascontiguousarray(out.transpose(0, 2, 3, 1))
 
@@ -352,7 +424,15 @@ class _MaxPool2dCLFunction(_ChannelsLastPoolBase):
         if not self._is_fast(h, w):
             return self._fallback_forward(x, _MaxPool2dFunction)
         self._x_shape = x.shape
-        best, self._argmax = _window_max_first_wins(list(self._windows(x)))
+        kh, kw = self.kernel
+        out_shape = (m, h // kh, w // kw, c)
+        best_out = arg_out = None
+        if self._ws is not None:
+            best_out = ws_buf(self, "out", out_shape, x.dtype)
+            arg_out = ws_buf(self, "arg", out_shape, np.int8)
+        best, self._argmax = _window_max_first_wins(list(self._windows(x)),
+                                                    best_out, arg_out,
+                                                    select=self.fast_select)
         return best
 
     def forward_inference(self, x: np.ndarray) -> np.ndarray:
@@ -360,10 +440,17 @@ class _MaxPool2dCLFunction(_ChannelsLastPoolBase):
         m, h, w, c = x.shape
         if not self._is_fast(h, w):
             inner = _MaxPool2dFunction(self.kernel, self.stride, self.padding)
+            inner.set_workspace(self._ws)
             out = inner.forward_inference(np.ascontiguousarray(x.transpose(0, 3, 1, 2)))
             return np.ascontiguousarray(out.transpose(0, 2, 3, 1))
         views = self._windows(x)
-        best = next(views).copy()
+        first = next(views)
+        if self._ws is None:
+            best = first.copy()
+        else:
+            kh, kw = self.kernel
+            best = ws_buf(self, "out", (m, h // kh, w // kw, c), x.dtype)
+            np.copyto(best, first)
         for candidate in views:
             np.maximum(best, candidate, out=best)
         return best
@@ -371,8 +458,16 @@ class _MaxPool2dCLFunction(_ChannelsLastPoolBase):
     def backward(self, grad_output: np.ndarray):
         if self._fallback is not None:
             return self._fallback_backward(grad_output)
-        grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
-        _window_max_scatter_grad(self._windows(grad_x), grad_output, self._argmax)
+        if self.fast_select:
+            # The window views jointly cover grad_x, so no pre-zeroing.
+            grad_x = ws_buf(self, "gx", self._x_shape, grad_output.dtype)
+        elif self._ws is None:
+            grad_x = np.zeros(self._x_shape, dtype=grad_output.dtype)
+        else:
+            grad_x = ws_buf(self, "gx", self._x_shape, grad_output.dtype)
+            grad_x.fill(0.0)
+        _window_max_scatter_grad(self._windows(grad_x), grad_output,
+                                 self._argmax, select=self.fast_select)
         return (grad_x,)
 
 
@@ -386,7 +481,11 @@ class _AvgPool2dCLFunction(_ChannelsLastPoolBase):
         kh, kw = self.kernel
         self._x_shape = x.shape
         windowed = x.reshape(m, h // kh, kh, w // kw, kw, c)
-        return windowed.mean(axis=(2, 4)).astype(x.dtype, copy=False)
+        if self._ws is None:
+            return windowed.mean(axis=(2, 4)).astype(x.dtype, copy=False)
+        out = ws_buf(self, "out", (m, h // kh, w // kw, c), x.dtype)
+        np.mean(windowed, axis=(2, 4), out=out)
+        return out
 
     def backward(self, grad_output: np.ndarray):
         if self._fallback is not None:
@@ -394,9 +493,13 @@ class _AvgPool2dCLFunction(_ChannelsLastPoolBase):
         m, h, w, c = self._x_shape
         kh, kw = self.kernel
         grad = grad_output / (kh * kw)
-        grad = np.broadcast_to(grad[:, :, None, :, None, :],
-                               (m, h // kh, kh, w // kw, kw, c))
-        return (grad.reshape(m, h, w, c),)
+        expanded = np.broadcast_to(grad[:, :, None, :, None, :],
+                                   (m, h // kh, kh, w // kw, kw, c))
+        if self._ws is None:
+            return (expanded.reshape(m, h, w, c),)
+        grad_x = ws_buf(self, "gx", (m, h, w, c), grad_output.dtype)
+        np.copyto(grad_x.reshape(m, h // kh, kh, w // kw, kw, c), expanded)
+        return (grad_x,)
 
 
 def max_pool2d_cl(x: Tensor, kernel_size, stride=None, padding=0) -> Tensor:

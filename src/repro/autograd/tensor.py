@@ -37,12 +37,15 @@ import numpy as np
 __all__ = [
     "Tensor",
     "Function",
+    "Workspace",
+    "ws_buf",
     "no_grad",
     "is_grad_enabled",
     "as_tensor",
     "set_trace",
     "active_trace",
     "record_op",
+    "trace_region",
 ]
 
 # ---------------------------------------------------------------------------
@@ -105,6 +108,29 @@ def record_op(op: str, inputs: Tuple["Tensor", ...], out: Optional["Tensor"],
     trace = getattr(_TRACE_TLS, "trace", None)
     if trace is not None:
         trace.record(op, inputs, out, attrs or {}, saved)
+
+
+@contextlib.contextmanager
+def trace_region(tag: str):
+    """Mark the ops executed inside the block as one semantic region.
+
+    Traces that understand regions (``GraphCapture``) expose
+    ``region_begin(tag)`` / ``region_end(handle)``; the plan-time graph
+    optimizer uses the recorded spans to recognise composite structures — in
+    particular the four-sub-convolution TT wirings — without fragile
+    structural guessing.  A no-op when no trace (or a region-unaware trace)
+    is installed.
+    """
+    trace = getattr(_TRACE_TLS, "trace", None)
+    begin = getattr(trace, "region_begin", None)
+    if begin is None:
+        yield
+        return
+    handle = begin(tag)
+    try:
+        yield
+    finally:
+        trace.region_end(handle)
 
 
 def _traced(op: str, data: np.ndarray, parents: Sequence["Tensor"],
@@ -686,6 +712,55 @@ class Tensor:
 # ---------------------------------------------------------------------------
 
 
+class Workspace:
+    """Named pool of persistent scratch buffers for kernel contexts.
+
+    A :class:`Function` context that has a workspace installed (see
+    :meth:`Function.set_workspace`) writes its large temporaries — im2col
+    columns, padded inputs, membrane histories, normalised activations —
+    into buffers that live across calls instead of allocating fresh arrays
+    every time.  The compiled runtime's graph optimizer attaches one
+    workspace per specialized graph node, which removes the steady-state
+    allocation traffic from replayed kernels; the eager path never installs
+    one, so eager execution is unchanged.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers = {}
+
+    def buf(self, key: str, shape: Tuple[int, ...], dtype, zero: bool = False) -> np.ndarray:
+        """Return the persistent buffer for ``key``, creating it on first use.
+
+        ``zero=True`` zero-fills only on creation (callers rely on regions
+        they never write — e.g. a padded image's border — staying zero).
+        A shape/dtype change (impossible within one compiled plan) recreates
+        the buffer.
+        """
+        buffer = self._buffers.get(key)
+        if buffer is not None and buffer.shape == tuple(shape) and buffer.dtype == dtype:
+            return buffer
+        buffer = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+        self._buffers[key] = buffer
+        return buffer
+
+    def nbytes(self) -> int:
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+
+def ws_buf(ctx, key: str, shape: Tuple[int, ...], dtype, zero: bool = False) -> np.ndarray:
+    """Scratch buffer for a kernel context: workspace-backed when installed.
+
+    Without a workspace this is a plain allocation (``np.zeros`` /
+    ``np.empty``), i.e. exactly what the eager kernels always did.
+    """
+    ws = getattr(ctx, "_ws", None)
+    if ws is None:
+        return np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+    return ws.buf(key, shape, dtype, zero=zero)
+
+
 class Function:
     """Base class for custom differentiable operations.
 
@@ -704,6 +779,14 @@ class Function:
     constructor kwargs, so the compiled runtime can re-instantiate a fresh
     context and re-run forward/backward on replay.
     """
+
+    #: Installed by the graph optimizer on persistent (plan-owned) contexts;
+    #: ``None`` on every eagerly-created context.
+    _ws: Optional[Workspace] = None
+
+    def set_workspace(self, workspace: Optional[Workspace]) -> None:
+        """Install a persistent scratch-buffer pool (see :class:`Workspace`)."""
+        self._ws = workspace
 
     def forward(self, *arrays: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -46,7 +46,7 @@ def summarize_latencies(durations: List[float],
     return summary
 
 
-def summarize_runtime(source) -> Dict[str, object]:
+def summarize_runtime(source, top_k: int = 10) -> Dict[str, object]:
     """Capture-vs-replay report for a compiled-runtime owner.
 
     ``source`` is anything exposing ``runtime_stats()`` — a
@@ -57,6 +57,12 @@ def summarize_runtime(source) -> Dict[str, object]:
     a latency percentile summary of the replay durations and the
     capture-vs-replay speedup (how much cheaper a replayed step is than the
     capture that built its plan).
+
+    When the runtime was built with ``profile=True``, the report also carries
+    ``hot_ops``: the top-``top_k`` kernels by accumulated replay seconds
+    (``{"op", "seconds", "calls", "share"}`` per entry, forward kernels and
+    ``bwd:``-prefixed backward kernels ranked together), so graph-optimizer
+    wins are attributable to specific kernels.
     """
     stats_fn = getattr(source, "runtime_stats", None)
     if stats_fn is None:
@@ -72,6 +78,15 @@ def summarize_runtime(source) -> Dict[str, object]:
     mean_capture = float(report.get("mean_capture_s", 0.0))
     mean_replay = float(report.get("mean_replay_s", 0.0))
     report["capture_over_replay"] = (mean_capture / mean_replay) if mean_replay > 0 else 0.0
+    kernels = report.get("kernels")
+    if kernels:
+        total = sum(entry["seconds"] for entry in kernels.values()) or 1.0
+        ranked = sorted(kernels.items(), key=lambda item: -item[1]["seconds"])
+        report["hot_ops"] = [
+            {"op": label, "seconds": entry["seconds"], "calls": entry["calls"],
+             "share": entry["seconds"] / total}
+            for label, entry in ranked[:top_k]
+        ]
     return report
 
 

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.conv import conv2d, conv2d_channels_last, _pair, conv2d_output_shape
-from repro.autograd.tensor import Function, Tensor, record_op
+from repro.autograd.tensor import Function, Tensor, record_op, ws_buf
 from repro.nn import init
 from repro.nn.module import (
     Module,
@@ -181,10 +181,18 @@ class BatchNormSequenceFunction(Function):
         else:
             weight = bias = None
         channels = x.shape[-1] if self.channels_last else x.shape[2]
+        has_ws = self._ws is not None
         if self.training:
             mean = x.mean(axis=self._axes, keepdims=True)
-            centered = x - mean
-            var = np.mean(centered * centered, axis=self._axes, keepdims=True)
+            if has_ws:
+                centered = ws_buf(self, "xhat", x.shape, x.dtype)
+                np.subtract(x, mean, out=centered)
+                squared = ws_buf(self, "sq", x.shape, x.dtype)
+                np.multiply(centered, centered, out=squared)
+                var = np.mean(squared, axis=self._axes, keepdims=True)
+            else:
+                centered = x - mean
+                var = np.mean(centered * centered, axis=self._axes, keepdims=True)
             self.batch_mean = mean.reshape(x.shape[0], channels)
             self.batch_var = var.reshape(x.shape[0], channels)
             inv_std = 1.0 / np.sqrt(var + self.eps)
@@ -194,14 +202,23 @@ class BatchNormSequenceFunction(Function):
             mean = self.running_mean.reshape(self._param_shape())
             var = self.running_var.reshape(self._param_shape())
             inv_std = 1.0 / np.sqrt(var + self.eps)
-            xhat = x - mean
+            if has_ws:
+                xhat = ws_buf(self, "xhat", x.shape, x.dtype)
+                np.subtract(x, mean, out=xhat)
+            else:
+                xhat = x - mean
             xhat *= inv_std
         self._xhat = xhat
         self._inv_std = inv_std
         if weight is None:
             return xhat.astype(x.dtype, copy=False)
         self._weight = weight
-        out = xhat * (self.gamma_scale * weight.reshape(self._param_shape()))
+        scale = self.gamma_scale * weight.reshape(self._param_shape())
+        if has_ws:
+            out = ws_buf(self, "out", x.shape, x.dtype)
+            np.multiply(xhat, scale, out=out)
+        else:
+            out = xhat * scale
         out += bias.reshape(self._param_shape())
         return out.astype(x.dtype, copy=False)
 
@@ -238,18 +255,33 @@ class BatchNormSequenceFunction(Function):
             scale = inv_std
             shift = -self.running_mean * inv_std
         shape = self._param_shape()
-        out = x * scale.reshape(shape)
+        if self._ws is None:
+            out = x * scale.reshape(shape)
+        else:
+            out = ws_buf(self, "out", x.shape, x.dtype)
+            np.multiply(x, scale.reshape(shape), out=out)
         out += shift.reshape(shape)
         return out.astype(x.dtype, copy=False)
 
     def backward(self, grad_output: np.ndarray):
         xhat = self._xhat
         inv_std = self._inv_std
+        has_ws = self._ws is not None
         param_axes = (0, 1, 2, 3) if self.channels_last else (0, 1, 3, 4)
         if self._affine:
-            grad_weight = self.gamma_scale * (grad_output * xhat).sum(axis=param_axes)
+            if has_ws:
+                product = ws_buf(self, "sq", xhat.shape, xhat.dtype)
+                np.multiply(grad_output, xhat, out=product)
+                grad_weight = self.gamma_scale * product.sum(axis=param_axes)
+            else:
+                grad_weight = self.gamma_scale * (grad_output * xhat).sum(axis=param_axes)
             grad_bias = grad_output.sum(axis=param_axes)
-            grad_xhat = grad_output * (self.gamma_scale * self._weight.reshape(self._param_shape()))
+            scale = self.gamma_scale * self._weight.reshape(self._param_shape())
+            if has_ws:
+                grad_xhat = ws_buf(self, "gxh", grad_output.shape, grad_output.dtype)
+                np.multiply(grad_output, scale, out=grad_xhat)
+            else:
+                grad_xhat = grad_output * scale
         else:
             grad_weight = grad_bias = None
             grad_xhat = grad_output
@@ -258,15 +290,39 @@ class BatchNormSequenceFunction(Function):
             # timestep over (N, H, W) — the analytic gradient of normalising
             # with batch statistics that themselves depend on x.
             grad_mean = grad_xhat.mean(axis=self._axes, keepdims=True)
-            grad_proj = (grad_xhat * xhat).mean(axis=self._axes, keepdims=True)
+            if has_ws:
+                product = ws_buf(self, "sq", xhat.shape, xhat.dtype)
+                np.multiply(grad_xhat, xhat, out=product)
+                grad_proj = product.mean(axis=self._axes, keepdims=True)
+            else:
+                grad_proj = (grad_xhat * xhat).mean(axis=self._axes, keepdims=True)
             if grad_xhat is grad_output:
-                grad_xhat = grad_xhat.copy()
+                # Never mutate the upstream gradient in place.
+                if has_ws:
+                    buffer = ws_buf(self, "gxh", grad_output.shape, grad_output.dtype)
+                    np.copyto(buffer, grad_output)
+                    grad_xhat = buffer
+                else:
+                    grad_xhat = grad_xhat.copy()
             grad_xhat -= grad_mean
-            grad_xhat -= xhat * grad_proj
+            if has_ws:
+                scratch = ws_buf(self, "sq", xhat.shape, xhat.dtype)
+                np.multiply(xhat, grad_proj, out=scratch)
+                grad_xhat -= scratch
+            else:
+                grad_xhat -= xhat * grad_proj
             grad_xhat *= inv_std
             grad_x = grad_xhat
         else:
-            grad_x = grad_xhat * inv_std
+            if grad_xhat is grad_output:
+                if has_ws:
+                    grad_x = ws_buf(self, "gxh", grad_output.shape, grad_output.dtype)
+                    np.multiply(grad_xhat, inv_std, out=grad_x)
+                else:
+                    grad_x = grad_xhat * inv_std
+            else:
+                grad_xhat *= inv_std
+                grad_x = grad_xhat
         if self._affine:
             return grad_x, grad_weight, grad_bias
         return (grad_x,)

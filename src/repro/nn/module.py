@@ -188,7 +188,8 @@ class Module:
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
-    def compile(self, fn=None):
+    def compile(self, fn=None, optimize: str = "O0", profile: bool = False,
+                parallel_workers: int = 0):
         """Return a compiled (capture/replay) no-grad forward of this module.
 
         The first call per input signature traces one eager forward into an
@@ -197,10 +198,23 @@ class Module:
         Python autograd or module dispatch.  A shape change re-captures
         automatically.  Pass ``fn`` to compile a different entry point than
         ``self.__call__`` (e.g. ``model.run_timesteps`` for spiking models).
+
+        ``optimize`` selects the plan-time graph-optimizer level
+        (:mod:`repro.runtime.optimizer`): ``"O1"`` fuses and specializes
+        kernels while keeping parameter slots live (updates between replays
+        stay visible), ``"O2"`` additionally constant-folds eval batch norms
+        and TT wirings into the plans — O2 plans bake the current parameter
+        values, so call :meth:`~repro.runtime.replay.CompiledForward.invalidate`
+        (or rely on a shape change) after mutating parameters.
+        ``parallel_workers > 0`` runs independent branches of no-grad O2
+        replays on an inter-op thread pool; ``profile=True`` records
+        per-kernel timings.
         """
         from repro.runtime.replay import CompiledForward
 
-        return CompiledForward(fn if fn is not None else self, owner=self)
+        return CompiledForward(fn if fn is not None else self, owner=self,
+                               optimize=optimize, profile=profile,
+                               parallel_workers=parallel_workers)
 
     # -- introspection -------------------------------------------------------------
 

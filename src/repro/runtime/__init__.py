@@ -14,14 +14,19 @@ that steady-state overhead with a three-stage pipeline:
    while computing its usual result.  Placeholders mark replay-varying
    inputs; parameters become live leaf slots; everything else is a baked
    constant.
-2. **Plan** (:mod:`~repro.runtime.planner`): the recorded forward order is
+2. **Optimize** (:mod:`~repro.runtime.optimizer`): an ``optimize="O1"|"O2"``
+   pass pipeline rewrites the captured graph before planning — workspace
+   kernel specialization, elementwise-chain fusion, view collapse/CSE/DCE
+   at O1 (value-exact, training-safe), plus eval-BN constant folding,
+   Eq. 6 TT pre-contraction and schedule optimization on no-grad O2 plans.
+3. **Plan** (:mod:`~repro.runtime.planner`): the recorded forward order is
    the topological schedule; the backward schedule is its reverse restricted
    to the loss→leaf gradient paths.  Liveness analysis assigns intermediates
    to a reusable **buffer arena** keyed by ``(shape, dtype)``
    (:mod:`~repro.runtime.arena`) with view-alias folding and in-place-safe
    slot aliasing for elementwise ops, so steady-state replays perform ~zero
    fresh arena allocations.
-3. **Replay** (:mod:`~repro.runtime.replay`): ``CompiledTrainStep`` /
+4. **Replay** (:mod:`~repro.runtime.replay`): ``CompiledTrainStep`` /
    ``CompiledForward`` re-execute the plan on new input arrays through the
    pure-kernel op registry (:mod:`~repro.runtime.ops`) — no tensors, no
    closures, no module dispatch — and re-capture automatically when the
@@ -33,8 +38,9 @@ section for measured speedups.
 """
 
 from repro.runtime.arena import BufferArena
-from repro.runtime.graph import CaptureError, GraphCapture, OpNode, Slot
+from repro.runtime.graph import CaptureError, GraphCapture, OpNode, Region, Slot
 from repro.runtime.ops import OPS, OpDef, get_op, register_op
+from repro.runtime.optimizer import OPT_LEVELS, OptimizerReport, optimize_capture
 from repro.runtime.planner import ExecutionPlan, PlanSignatureError, compile_plan
 from repro.runtime.replay import CompiledForward, CompiledTrainStep
 
@@ -43,11 +49,15 @@ __all__ = [
     "CaptureError",
     "GraphCapture",
     "OpNode",
+    "Region",
     "Slot",
     "OPS",
     "OpDef",
     "get_op",
     "register_op",
+    "OPT_LEVELS",
+    "OptimizerReport",
+    "optimize_capture",
     "ExecutionPlan",
     "PlanSignatureError",
     "compile_plan",

@@ -29,21 +29,28 @@ class BufferArena:
         self.allocated = 0          # fresh ndarrays ever created
         self.reused = 0             # acquisitions served from the free lists
         self.bytes_allocated = 0
+        self.bytes_in_use = 0       # bytes currently handed out to plans
+        self.bytes_high_water = 0   # max bytes_in_use ever observed
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(shape), np.dtype(dtype).str)
         bucket = self._free.get(key)
         if bucket:
             self.reused += 1
-            return bucket.pop()
-        self.allocated += 1
-        buffer = np.empty(key[0], dtype=np.dtype(dtype))
-        self.bytes_allocated += buffer.nbytes
+            buffer = bucket.pop()
+        else:
+            self.allocated += 1
+            buffer = np.empty(key[0], dtype=np.dtype(dtype))
+            self.bytes_allocated += buffer.nbytes
+        self.bytes_in_use += buffer.nbytes
+        if self.bytes_in_use > self.bytes_high_water:
+            self.bytes_high_water = self.bytes_in_use
         return buffer
 
     def release(self, buffer: np.ndarray) -> None:
         key = (tuple(buffer.shape), buffer.dtype.str)
         self._free.setdefault(key, []).append(buffer)
+        self.bytes_in_use = max(0, self.bytes_in_use - buffer.nbytes)
 
     def release_all(self, buffers) -> None:
         for buffer in buffers:
@@ -57,5 +64,7 @@ class BufferArena:
             "reused_acquisitions": float(self.reused),
             "free_buffers": float(free),
             "bytes_allocated": float(self.bytes_allocated),
+            "bytes_in_use": float(self.bytes_in_use),
+            "bytes_high_water": float(self.bytes_high_water),
             "reuse_rate": float(reuse_rate),
         }

@@ -25,10 +25,29 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, set_trace
 
-__all__ = ["CaptureError", "GraphCapture", "OpNode", "Slot",
+__all__ = ["CaptureError", "GraphCapture", "OpNode", "Region", "Slot",
            "INPUT", "LEAF", "CONST", "INTER"]
 
 INPUT, LEAF, CONST, INTER = range(4)
+
+
+class Region:
+    """A tagged span of recorded nodes (``nodes[start:stop]``).
+
+    Emitted by :func:`repro.autograd.tensor.trace_region`; the graph
+    optimizer uses regions to locate composite structures such as the TT
+    sub-convolution wirings without structural guessing.
+    """
+
+    __slots__ = ("tag", "start", "stop")
+
+    def __init__(self, tag: str, start: int, stop: int = -1):
+        self.tag = tag
+        self.start = start
+        self.stop = stop
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Region({self.tag!r}, {self.start}:{self.stop})"
 
 
 class CaptureError(RuntimeError):
@@ -87,6 +106,7 @@ class GraphCapture:
         self.input_names: Dict[str, int] = {}
         self.outputs: List[Tuple[str, int]] = []
         self.loss_slot: Optional[int] = None
+        self.regions: List[Region] = []
         self._prev_trace = None
 
     # -- context manager -----------------------------------------------------
@@ -135,6 +155,15 @@ class GraphCapture:
             out_slot = self._new_slot(INTER, out.data, producer=len(self.nodes))
             self._register(out, out_slot)
         self.nodes.append(OpNode(op, input_slots, out_slot, attrs, saved))
+
+    def region_begin(self, tag: str) -> Region:
+        """Open a tagged region starting at the next recorded node."""
+        region = Region(tag, len(self.nodes))
+        self.regions.append(region)
+        return region
+
+    def region_end(self, region: Region) -> None:
+        region.stop = len(self.nodes)
 
     # -- internals -------------------------------------------------------------
 

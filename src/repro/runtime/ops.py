@@ -500,6 +500,150 @@ def _bn_seq_infer(ins, attrs, out=None):
 register_op("bn_seq", _bn_seq_fwd, _fn_bwd, forward_inference=_bn_seq_infer)
 
 
+# ---------------------------------------------------------------------------
+# optimizer-specialized kernels (installed by repro.runtime.optimizer)
+# ---------------------------------------------------------------------------
+#
+# ``fn_cached`` / ``bn_seq_cached`` are the workspace-backed variants of
+# ``fn`` / ``bn_seq``: the graph optimizer replaces the per-replay context
+# re-instantiation with ONE persistent context per graph node, carrying a
+# :class:`~repro.autograd.tensor.Workspace` so the kernel's large temporaries
+# (im2col columns, padded images, membrane histories, normalised activations)
+# are allocated once and reused by every replay.  ``ew_chain`` executes a
+# fused run of elementwise sub-ops with a fused backward.
+
+
+def _fn_cached_fwd(ins, attrs, out=None):
+    ctx = attrs["ctx"]
+    return ctx.forward(*ins), ctx
+
+
+def _fn_cached_infer(ins, attrs, out=None):
+    return attrs["infer"](*ins)
+
+
+register_op("fn_cached", _fn_cached_fwd, _fn_bwd, forward_inference=_fn_cached_infer)
+
+
+def _bn_cached_fwd(ins, attrs, out=None):
+    ctx = attrs["ctx"]
+    result = ctx.forward(*ins)
+    if attrs["training"]:
+        # Same shared helper as the eager path — bitwise-equal statistics.
+        ctx.update_running_stats(attrs["running_mean"], attrs["running_var"],
+                                 attrs["momentum"])
+    return result, ctx
+
+
+def _bn_cached_infer(ins, attrs, out=None):
+    if attrs["training"]:
+        result, _ = _bn_cached_fwd(ins, attrs)
+        return result
+    return attrs["ctx"].forward_inference(*ins)
+
+
+register_op("bn_seq_cached", _bn_cached_fwd, _fn_bwd, forward_inference=_bn_cached_infer)
+
+
+def _ew_chain_run(ins, attrs, save: bool):
+    """Execute the fused elementwise program; optionally save per-step state.
+
+    Each program step holds the *registered* forward kernel of the original
+    op, so the fused run performs the exact same ufunc sequence the unfused
+    nodes would — out-capable steps merely write into persistent workspace
+    buffers instead of fresh arrays.
+    """
+    ws = attrs["ws"]
+    cur = ins[0]
+    saved = [] if save else None
+    for index, step in enumerate(attrs["prog"]):
+        sub_ins = [cur if spec < 0 else ins[spec] for spec in step["ins"]]
+        if step["buffered"]:
+            buffer = ws.buf(str(index), step["shape"], step["dtype"])
+            result = step["fwd"](sub_ins, step["attrs"], buffer)
+        else:
+            result = step["fwd"](sub_ins, step["attrs"])
+        if saved is not None:
+            saved.append((sub_ins, result))
+        cur = result
+    if saved is not None:
+        return cur, saved
+    return cur
+
+
+def _ew_chain_fwd(ins, attrs, out=None):
+    return _ew_chain_run(ins, attrs, save=True)
+
+
+def _ew_chain_infer(ins, attrs, out=None):
+    return _ew_chain_run(ins, attrs, save=False)
+
+
+def _ew_chain_bwd(g, ins, out, saved, attrs, needs):
+    prog = attrs["prog"]
+    grads: List[Optional[np.ndarray]] = [None] * len(ins)
+    g_cur = np.asarray(g)
+    for index in range(len(prog) - 1, -1, -1):
+        step = prog[index]
+        sub_ins, sub_out = saved[index]
+        sub_grads = step["bwd"](g_cur, sub_ins, sub_out, None, step["attrs"],
+                                step["needs"])
+        g_next = None
+        for position, spec in enumerate(step["ins"]):
+            sub_grad = sub_grads[position]
+            if sub_grad is None:
+                continue
+            if spec < 0:
+                g_next = np.asarray(sub_grad)
+            elif grads[spec] is None:
+                grads[spec] = np.asarray(sub_grad)
+            else:
+                grads[spec] = grads[spec] + sub_grad
+        if index == 0:
+            break
+        if g_next is None:
+            # The thread gradient vanished (should not happen for the fused
+            # op set, all of which are differentiable in their first input).
+            return grads
+        # Mirror the eager engine's per-slot reduction of broadcast grads.
+        previous = prog[index - 1]
+        g_cur = _unbroadcast(np.asarray(g_next, dtype=previous["dtype"]),
+                             previous["shape"])
+    return grads
+
+
+register_op("ew_chain", _ew_chain_fwd, _ew_chain_bwd, forward_inference=_ew_chain_infer)
+
+
+def _view_cached_fwd(ins, attrs, out=None):
+    """Alias-op forward memoised on the *identity* of the source array.
+
+    Specialized kernels write into identity-stable workspace buffers, so in
+    an optimized plan most view chains see the same base array every replay
+    — the reshape/transpose view is then constructed once and reused (views
+    share memory, so content updates flow through automatically).  Results
+    that are *not* views (a reshape of a non-viewable layout returns a
+    copy) are never cached: a frozen copy would go stale the moment the
+    source array is rewritten in place.
+    """
+    source = ins[0]
+    cache = attrs["cache"]
+    if cache[0] is source:
+        return cache[1]
+    result = attrs["inner_fwd"]([source], attrs["inner"])
+    if result.base is not None:
+        cache[0] = source
+        cache[1] = result
+    return result
+
+
+def _view_cached_bwd(g, ins, out, saved, attrs, needs):
+    return attrs["inner_bwd"](g, ins, out, saved, attrs["inner"], needs)
+
+
+register_op("view_cached", _view_cached_fwd, _view_cached_bwd, alias=True)
+
+
 def _bn_stats_fwd(ins, attrs, out=None):
     x = ins[0]
     axes = attrs["axes"]

@@ -22,6 +22,8 @@ an :class:`ExecutionPlan`:
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from typing import Dict, List, Optional, Tuple
@@ -30,6 +32,7 @@ from repro.autograd.tensor import _unbroadcast
 from repro.runtime.arena import BufferArena
 from repro.runtime.graph import INTER, LEAF, CaptureError, GraphCapture
 from repro.runtime.ops import get_op
+from repro.runtime.optimizer import optimize_capture
 
 __all__ = ["ExecutionPlan", "PlanSignatureError", "compile_plan"]
 
@@ -47,13 +50,31 @@ class ExecutionPlan:
     its arena buffers until :meth:`release` returns them to the pool.
     """
 
-    def __init__(self, capture: GraphCapture, arena: BufferArena):
+    def __init__(self, capture: GraphCapture, arena: BufferArena,
+                 profile: bool = False):
         self._arena = arena
         self.slots = capture.slots
         self.nodes = capture.nodes
         self.input_ids: Dict[str, int] = dict(capture.input_names)
         self.output_ids: List[Tuple[str, int]] = list(capture.outputs)
         self.loss_slot = capture.loss_slot
+        self.optimizer_report = getattr(capture, "optimizer_report", None)
+        # Level schedule produced by the optimizer's parallel pass: nodes are
+        # sorted by dependency level, steps within one level are independent.
+        self._levels: Optional[List[int]] = getattr(capture, "parallel_levels", None)
+        self._workers = int(getattr(capture, "parallel_workers", 0) or 0)
+        self._pool = None
+        self._profile = bool(profile)
+        # Optimized plans adopt C-contiguous first-write gradient views by
+        # reference: the layout matches the contiguous copy bit-for-bit, so
+        # downstream pairwise reductions cannot drift — only O0 keeps the
+        # (PR-3 exact) unconditional copy.
+        self._adopt_contiguous_views = (
+            self.optimizer_report is not None
+            and getattr(self.optimizer_report, "level", "O0") != "O0"
+        )
+        self.kernel_seconds: Dict[str, float] = {}
+        self.kernel_calls: Dict[str, int] = {}
 
         count = len(self.slots)
         self._vals: List[Optional[np.ndarray]] = [slot.array for slot in self.slots]
@@ -85,11 +106,37 @@ class ExecutionPlan:
         self._fwd_steps = [self._make_forward_step(position, node)
                            for position, node in enumerate(self.nodes)]
         self._bwd_steps = [self._make_backward_step(node) for node in self._bwd_nodes]
+        self._fwd_labels = [self._node_label(node) for node in self.nodes]
+        self._bwd_labels = ["bwd:" + self._node_label(node) for node in self._bwd_nodes]
+        self._level_groups = self._build_level_groups()
         if self.has_backward:
             loss = self.slots[self.loss_slot]
             self._seed = np.ones(loss.shape, dtype=loss.dtype)
         self._sealed = False
         self.replay_count = 0
+
+    @staticmethod
+    def _node_label(node) -> str:
+        if node.op in ("fn", "fn_cached"):
+            return f"{node.op}:{node.attrs['cls'].__name__}"
+        return node.op
+
+    def _parallel(self) -> bool:
+        return (self._workers > 0 and self._levels is not None
+                and not self.has_backward)
+
+    def _build_level_groups(self) -> Optional[List[Tuple[int, int, int]]]:
+        """Contiguous ``(level, start, stop)`` runs of the level-sorted schedule."""
+        if not self._parallel():
+            return None
+        groups: List[Tuple[int, int, int]] = []
+        start = 0
+        for position in range(1, len(self.nodes) + 1):
+            if (position == len(self.nodes)
+                    or self._levels[position] != self._levels[start]):
+                groups.append((self._levels[start], start, position))
+                start = position
+        return groups
 
     # -- analysis ------------------------------------------------------------
 
@@ -200,10 +247,20 @@ class ExecutionPlan:
             return managed
 
         # Forward-only: alias-folded live ranges, linear-scan buffer sharing.
+        # Parallel plans measure positions in dependency *levels*: a buffer
+        # is only reusable once its last reader's level has fully completed,
+        # because steps within one level run concurrently.
+        levels = self._levels if self._parallel() else None
+
+        def _pos(position: float) -> float:
+            if levels is None or position == _INFINITY:
+                return position
+            return levels[int(position)]
+
         root_last: Dict[int, float] = {}
         for index, use in self._last_use.items():
             root = roots[index]
-            root_last[root] = max(root_last.get(root, -1), use)
+            root_last[root] = max(root_last.get(root, -1), _pos(use))
 
         free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
         active: List[Tuple[float, int]] = []  # (last_use, slot) with a bound buffer
@@ -220,10 +277,12 @@ class ExecutionPlan:
             active[:] = keep
 
         for position, node, opdef in candidates:
-            _release_until(position - 1)
-            if opdef.inplace_safe:
+            _release_until(_pos(position) - 1)
+            if opdef.inplace_safe and levels is None:
                 # An input that dies at this very node may donate its buffer:
                 # elementwise kernels tolerate out aliasing a same-shape input.
+                # (Disabled under the parallel schedule — a same-level sibling
+                # may still be reading the donor.)
                 _release_until(position)
             slot = self.slots[node.out]
             key = (slot.shape, slot.dtype.str)
@@ -246,8 +305,10 @@ class ExecutionPlan:
         eager engine's level instead of pinning a full step of intermediates.
         """
         drops: Dict[int, List[int]] = {}
+        self._level_drops: Dict[int, List[int]] = {}
         if self.has_backward:
             return drops
+        parallel = self._parallel()
         for slot in self.slots:
             if (slot.kind != INTER or slot.index in self._keep
                     or slot.index in self._slot_buffer):
@@ -256,9 +317,19 @@ class ExecutionPlan:
             if use is None:
                 producer = slot.producer
                 if producer is not None:
-                    drops.setdefault(producer, []).append(slot.index)
+                    if parallel:
+                        self._level_drops.setdefault(self._levels[producer], []) \
+                            .append(slot.index)
+                    else:
+                        drops.setdefault(producer, []).append(slot.index)
             elif use != _INFINITY:
-                drops.setdefault(int(use), []).append(slot.index)
+                if parallel:
+                    # Concurrent same-level readers: drop only after the whole
+                    # level of the last reader has completed.
+                    self._level_drops.setdefault(self._levels[int(use)], []) \
+                        .append(slot.index)
+                else:
+                    drops.setdefault(int(use), []).append(slot.index)
         return drops
 
     # -- step construction -----------------------------------------------------
@@ -347,6 +418,13 @@ class ExecutionPlan:
         grad = _unbroadcast(np.asarray(grad, dtype=slot.dtype), slot.shape)
         current = self._gvals[index]
         if current is None:
+            if (grad.base is not None and self._adopt_contiguous_views
+                    and grad.flags["C_CONTIGUOUS"]):
+                # A contiguous view has the exact layout its copy would have;
+                # the base array stays unwritten until the next replay, so
+                # adopting it by reference is value- and bit-safe.
+                self._gvals[index] = grad
+                return
             if grad.base is not None:
                 # Mirror the eager engine: first-write views are materialised
                 # to a contiguous copy (here into a step-persistent buffer).
@@ -398,8 +476,7 @@ class ExecutionPlan:
         vals = self._vals
         for index, tensor in self._leaf_slots:
             vals[index] = tensor.data
-        for step in self._fwd_steps:
-            step()
+        self._run_forward()
         if grads is None:
             grads = self.has_backward
         if grads:
@@ -407,6 +484,69 @@ class ExecutionPlan:
             self._drop_dead_values()
         self.replay_count += 1
         return [vals[index] for _, index in self.output_ids]
+
+    def _run_forward(self) -> None:
+        if self._level_groups is not None:
+            if self._profile:
+                # Per-kernel wall-clock attribution needs serial execution:
+                # run the level schedule sequentially (with its level-barrier
+                # drops) instead of silently dropping the profile.
+                self._run_profiled(self._fwd_steps, self._fwd_labels,
+                                   level_groups=self._level_groups)
+            else:
+                self._run_forward_parallel()
+        elif self._profile:
+            self._run_profiled(self._fwd_steps, self._fwd_labels)
+        else:
+            for step in self._fwd_steps:
+                step()
+
+    def _run_forward_parallel(self) -> None:
+        """Execute the level schedule; independent same-level steps overlap.
+
+        NumPy's BLAS kernels release the GIL, so the pool overlaps the heavy
+        GEMMs of independent branches (residual paths, TT sub-convolutions).
+        Buffer binding and value drops are level-aware (see
+        :meth:`_bind_buffers` / :meth:`_build_forward_drops`), so concurrent
+        steps never share scratch storage.
+        """
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(max_workers=self._workers)
+        steps = self._fwd_steps
+        vals = self._vals
+        for level, start, stop in self._level_groups:
+            if stop - start == 1:
+                steps[start]()
+            else:
+                futures = [self._pool.submit(steps[index])
+                           for index in range(start, stop)]
+                for future in futures:
+                    future.result()
+            drops = self._level_drops.get(level)
+            if drops is not None:
+                for index in drops:
+                    vals[index] = None
+
+    def _run_profiled(self, steps, labels, level_groups=None) -> None:
+        seconds = self.kernel_seconds
+        calls = self.kernel_calls
+        for step, label in zip(steps, labels):
+            started = time.perf_counter()
+            step()
+            elapsed = time.perf_counter() - started
+            seconds[label] = seconds.get(label, 0.0) + elapsed
+            calls[label] = calls.get(label, 0) + 1
+        if level_groups is not None:
+            # Serial stand-in for the parallel runner: apply its
+            # level-barrier value drops so liveness behaves identically.
+            vals = self._vals
+            for level, _, _ in level_groups:
+                drops = self._level_drops.get(level)
+                if drops is not None:
+                    for index in drops:
+                        vals[index] = None
 
     def backward_from_capture(self) -> None:
         """Run the planned backward on the values recorded during capture.
@@ -422,8 +562,11 @@ class ExecutionPlan:
     def _run_backward(self) -> None:
         gvals = self._gvals
         gvals[self.loss_slot] = self._seed
-        for step in self._bwd_steps:
-            step()
+        if self._profile:
+            self._run_profiled(self._bwd_steps, self._bwd_labels)
+        else:
+            for step in self._bwd_steps:
+                step()
         for index, tensor in self._grad_targets:
             grad = gvals[index]
             gvals[index] = None
@@ -503,9 +646,12 @@ class ExecutionPlan:
         self._gbuf.clear()
         self._gout.clear()
         self._slot_buffer = {}
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
 
     def stats(self) -> Dict[str, float]:
-        return {
+        stats = {
             "nodes": float(len(self.nodes)),
             "backward_nodes": float(len(self._bwd_nodes)),
             "slots": float(len(self.slots)),
@@ -514,8 +660,25 @@ class ExecutionPlan:
             "grad_buffers": float(len(self._gbuf)),
             "replays": float(self.replay_count),
         }
+        if self._levels is not None:
+            stats["parallel_levels"] = float(self._levels[-1] + 1 if self._levels else 0)
+            stats["parallel_workers"] = float(self._workers)
+        return stats
 
 
-def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None) -> ExecutionPlan:
-    """Build an :class:`ExecutionPlan` from a finished capture."""
-    return ExecutionPlan(capture, arena or BufferArena())
+def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None,
+                 optimize: str = "O0", parallel_workers: int = 0,
+                 profile: bool = False) -> ExecutionPlan:
+    """Build an :class:`ExecutionPlan` from a finished capture.
+
+    ``optimize`` selects the plan-time graph-optimizer level (``"O0"`` —
+    none, ``"O1"`` — training-safe fusion/specialization, ``"O2"`` — adds
+    inference-only constant folding and schedule optimization; see
+    :mod:`repro.runtime.optimizer`).  ``parallel_workers > 0`` additionally
+    schedules independent branches of no-grad ``O2`` plans onto an inter-op
+    thread pool.  ``profile=True`` records per-kernel replay timings
+    (``ExecutionPlan.kernel_seconds`` / ``kernel_calls``, rendered as a
+    top-k table by :func:`repro.metrics.profiler.summarize_runtime`).
+    """
+    optimize_capture(capture, optimize, parallel_workers=parallel_workers)
+    return ExecutionPlan(capture, arena or BufferArena(), profile=profile)

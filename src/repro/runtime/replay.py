@@ -43,8 +43,16 @@ __all__ = ["CompiledTrainStep", "CompiledForward"]
 class _CompiledBase:
     """Shared plan cache + capture/replay accounting."""
 
-    def __init__(self, arena: Optional[BufferArena] = None):
+    def __init__(self, arena: Optional[BufferArena] = None, optimize: str = "O0",
+                 profile: bool = False, parallel_workers: int = 0):
+        from repro.runtime.optimizer import OPT_LEVELS
+
+        if optimize not in OPT_LEVELS:
+            raise ValueError(f"optimize must be one of {OPT_LEVELS}, got {optimize!r}")
         self.arena = arena or BufferArena()
+        self.optimize = optimize
+        self.profile = bool(profile)
+        self.parallel_workers = int(parallel_workers)
         self._plans: Dict[tuple, tuple] = {}
         self.capture_count = 0
         self.capture_time_s = 0.0
@@ -53,6 +61,11 @@ class _CompiledBase:
         self.eager_count = 0
         # Bounded window: long-running servers replay millions of times.
         self.replay_durations: "deque[float]" = deque(maxlen=1024)
+
+    def _compile(self, capture: GraphCapture):
+        return compile_plan(capture, self.arena, optimize=self.optimize,
+                            parallel_workers=self.parallel_workers,
+                            profile=self.profile)
 
     def invalidate(self) -> None:
         """Drop every cached plan (buffers return to the arena free lists)."""
@@ -75,11 +88,26 @@ class _CompiledBase:
             "mean_replay_s": self.replay_time_s / max(1, self.replay_count),
             "eager_steps": self.eager_count,
             "plans": len(self._plans),
+            "optimize": self.optimize,
             "arena": self.arena.stats(),
         }
         if self._plans:
             last_plan = next(reversed(self._plans.values()))[0]
             stats["plan"] = last_plan.stats()
+            if last_plan.optimizer_report is not None:
+                stats["optimizer"] = last_plan.optimizer_report.as_dict()
+        if self.profile:
+            merged_seconds: Dict[str, float] = {}
+            merged_calls: Dict[str, int] = {}
+            for entry in self._plans.values():
+                plan = entry[0]
+                for label, seconds in plan.kernel_seconds.items():
+                    merged_seconds[label] = merged_seconds.get(label, 0.0) + seconds
+                    merged_calls[label] = (merged_calls.get(label, 0)
+                                           + plan.kernel_calls[label])
+            stats["kernels"] = {label: {"seconds": merged_seconds[label],
+                                        "calls": merged_calls[label]}
+                                for label in merged_seconds}
         return stats
 
 
@@ -99,8 +127,9 @@ class CompiledTrainStep(_CompiledBase):
     """
 
     def __init__(self, model, loss_fn: Callable, step_mode: Optional[str] = None,
-                 arena: Optional[BufferArena] = None):
-        super().__init__(arena)
+                 arena: Optional[BufferArena] = None, optimize: str = "O0",
+                 profile: bool = False):
+        super().__init__(arena, optimize=optimize, profile=profile)
         self.model = model
         self.loss_fn = loss_fn
         self.step_mode = step_mode
@@ -173,7 +202,7 @@ class CompiledTrainStep(_CompiledBase):
             capture.mark_loss(loss)
             for index, out in enumerate(outputs):
                 capture.mark_output(out, f"logits_t{index}")
-        plan = compile_plan(capture, self.arena)
+        plan = self._compile(capture)
         plan.backward_from_capture()
         self.capture_time_s += time.perf_counter() - start
         self.capture_count += 1
@@ -191,8 +220,11 @@ class CompiledForward(_CompiledBase):
     """
 
     def __init__(self, fn: Callable[[Tensor], Union[Tensor, Sequence[Tensor]]],
-                 owner=None, arena: Optional[BufferArena] = None):
-        super().__init__(arena)
+                 owner=None, arena: Optional[BufferArena] = None,
+                 optimize: str = "O0", profile: bool = False,
+                 parallel_workers: int = 0):
+        super().__init__(arena, optimize=optimize, profile=profile,
+                         parallel_workers=parallel_workers)
         self.fn = fn
         self.owner = owner
 
@@ -251,7 +283,7 @@ class CompiledForward(_CompiledBase):
                             f"compiled forward must return Tensors, got {type(out).__name__}"
                         )
                     capture.mark_output(out, f"out{index}")
-        plan = compile_plan(capture, self.arena)
+        plan = self._compile(capture)
         self.capture_time_s += time.perf_counter() - start
         self.capture_count += 1
         self._plans[key] = (plan, is_sequence)

@@ -63,6 +63,25 @@ class InferenceEngine:
         any fill level hit a replayed plan instead of rebuilding the Python
         forward.  Padding is exact — eval-mode layers are per-sample
         independent, and the pad rows are sliced off before returning.
+    optimize:
+        Plan-time graph-optimizer level for the compiled path
+        (:mod:`repro.runtime.optimizer`).  Defaults to ``"O2"`` when the
+        engine owns its snapshot (``copy_model=True``): the inference-only
+        folds (eval-BN into conv weights, TT pre-contraction per Eq. 6,
+        frozen GEMM operands, memory-aware scheduling) bake the snapshot's
+        parameters into the plans, which is safe because the engine never
+        mutates it.  With ``copy_model=False`` the *caller's* instance is
+        adopted and may keep training, so the default drops to ``"O1"``,
+        whose plans re-read parameter tensors on every replay; pass
+        ``optimize="O2"`` explicitly to accept baked weights (then
+        ``invalidate()`` / re-capture after mutating them).
+    parallel_replay:
+        Inter-op thread-pool width for no-grad replays at ``"O2"``:
+        independent branches (residual paths, TT sub-convolutions) execute
+        concurrently.  ``0`` (default) keeps replays single-threaded.
+    profile:
+        Record per-kernel replay timings for
+        :func:`repro.metrics.profiler.summarize_runtime`'s hot-op table.
     """
 
     def __init__(
@@ -72,6 +91,9 @@ class InferenceEngine:
         copy_model: bool = True,
         timesteps: Optional[int] = None,
         compile: bool = False,
+        optimize: Optional[str] = None,
+        parallel_replay: int = 0,
+        profile: bool = False,
     ):
         if not isinstance(model, SpikingModel):
             raise TypeError(
@@ -106,12 +128,19 @@ class InferenceEngine:
         self.compile = bool(compile)
         self._compiled = None
         self._pad_buffers = {}
+        if optimize is None:
+            # Baked-parameter folds are only safe on an engine-owned
+            # snapshot; an adopted instance may keep training.
+            optimize = "O2" if copy_model else "O1"
         if self.compile:
             from repro.runtime.replay import CompiledForward
 
             self._compiled = CompiledForward(
                 lambda batch_t: self.model.run_timesteps(batch_t, step_mode="fused"),
                 owner=self.model,
+                optimize=optimize,
+                parallel_workers=parallel_replay,
+                profile=profile,
             )
 
     # -- properties --------------------------------------------------------------

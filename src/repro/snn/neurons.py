@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor, record_op
+from repro.autograd.tensor import Function, Tensor, as_tensor, record_op, ws_buf
 from repro.nn.module import StatefulModule
 
 __all__ = [
@@ -162,10 +162,10 @@ class _FusedLIFSequence(Function):
 
     def forward(self, currents: np.ndarray) -> np.ndarray:
         timesteps = currents.shape[0]
-        membranes = np.empty_like(currents)
-        spikes = np.empty_like(currents)
-        post = np.empty_like(currents[0])
-        scratch = np.empty_like(currents[0])
+        membranes = ws_buf(self, "membranes", currents.shape, currents.dtype)
+        spikes = ws_buf(self, "spikes", currents.shape, currents.dtype)
+        post = ws_buf(self, "post", currents.shape[1:], currents.dtype)
+        scratch = ws_buf(self, "scratch", currents.shape[1:], currents.dtype)
         if self.initial_membrane is None:
             np.copyto(post, 0.0)
         else:
@@ -196,10 +196,10 @@ class _FusedLIFSequence(Function):
         scratches per call.
         """
         timesteps = currents.shape[0]
-        spikes = np.empty_like(currents)
-        membrane = np.empty_like(currents[0])
-        scratch = np.empty_like(currents[0])
-        post = np.empty_like(currents[0])
+        spikes = ws_buf(self, "spikes", currents.shape, currents.dtype)
+        membrane = ws_buf(self, "membrane", currents.shape[1:], currents.dtype)
+        scratch = ws_buf(self, "scratch", currents.shape[1:], currents.dtype)
+        post = ws_buf(self, "post", currents.shape[1:], currents.dtype)
         if self.initial_membrane is None:
             np.copyto(post, 0.0)
         else:
@@ -218,13 +218,34 @@ class _FusedLIFSequence(Function):
         self.final_membrane = post
         return spikes
 
+    def _surrogate_derivative(self, membrane: np.ndarray) -> np.ndarray:
+        """Surrogate derivative at ``membrane - v_th``; workspace fast path.
+
+        The rectangular window computes through persistent buffers with the
+        identical ufunc sequence (``/ 1.0`` is exact, so the default width
+        skips the division) — bitwise-equal to the surrogate's own method.
+        """
+        if self._ws is None or not isinstance(self.surrogate, SurrogateRectangular):
+            return self.surrogate.derivative(membrane - self.v_threshold)
+        pre = ws_buf(self, "spre", membrane.shape, membrane.dtype)
+        np.subtract(membrane, self.v_threshold, out=pre)
+        np.abs(pre, out=pre)
+        mask = ws_buf(self, "smask", membrane.shape, bool)
+        np.less(pre, self.surrogate.width / 2.0, out=mask)
+        derivative = ws_buf(self, "sder", membrane.shape, membrane.dtype)
+        np.copyto(derivative, mask, casting="unsafe")
+        if self.surrogate.width != 1.0:
+            derivative /= self.surrogate.width
+        return derivative
+
     def backward(self, grad_output: np.ndarray):
         membranes = self._membranes
         spikes = self._spikes
         timesteps = grad_output.shape[0]
-        grad_input = np.empty_like(grad_output)
-        grad_post = np.zeros_like(grad_output[0])      # dL/dp_t flowing from t+1
-        scratch = np.empty_like(grad_post)
+        grad_input = ws_buf(self, "gin", grad_output.shape, grad_output.dtype)
+        grad_post = ws_buf(self, "gpost", grad_output.shape[1:], grad_output.dtype)
+        grad_post.fill(0.0)                            # dL/dp_t flowing from t+1
+        scratch = ws_buf(self, "gscratch", grad_post.shape, grad_post.dtype)
         for t in range(timesteps - 1, -1, -1):
             membrane = membranes[t]
             grad_spike = grad_output[t]
@@ -233,7 +254,7 @@ class _FusedLIFSequence(Function):
                     grad_spike = grad_spike - grad_post * membrane
                 else:
                     grad_spike = grad_spike - grad_post * self.v_threshold
-            surrogate_grad = self.surrogate.derivative(membrane - self.v_threshold)
+            surrogate_grad = self._surrogate_derivative(membrane)
             grad_membrane = grad_input[t]
             np.multiply(grad_spike, surrogate_grad, out=grad_membrane)
             if self.hard_reset:

@@ -93,6 +93,20 @@ class BPTTTrainer:
         eager.  A batch-shape (or train-mode/timesteps/step-mode) change
         re-captures automatically.  Replayed steps are numerically equivalent
         to eager ones; ``tests/test_runtime.py`` asserts the equivalence.
+    optimize:
+        Plan-time graph-optimizer level for the compiled runtime
+        (:mod:`repro.runtime.optimizer`): ``"O0"`` replays the captured op
+        stream node-for-node (the exact PR-3 engine), ``"O1"`` (default)
+        fuses elementwise chains, collapses view chains and specializes
+        kernels onto persistent workspaces — the O1 passes are value-exact,
+        so losses/gradients/parameters stay *bit-identical* to O0 (asserted
+        in ``tests/test_optimizer.py``) while replaying measurably faster;
+        ``"O2"`` additionally enables the inference-only folds — which a
+        training plan does not contain, so O2 training behaves like O1.
+        Ignored without ``compile=True``.
+    profile:
+        Record per-kernel replay timings, surfaced as a top-k hot-op table by
+        :func:`repro.metrics.profiler.summarize_runtime`.
     """
 
     def __init__(
@@ -102,12 +116,16 @@ class BPTTTrainer:
         loss_fn: Optional[Callable] = None,
         augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
         compile: bool = False,
+        optimize: str = "O1",
+        profile: bool = False,
     ):
         self.model = model
         self.config = config
         self.loss_fn = loss_fn or mean_output_cross_entropy
         self.augment = augment
         self.compile = bool(compile)
+        self.optimize = optimize
+        self.profile = bool(profile)
         self._compiled = None
         if config.optimizer.lower() == "adam":
             self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
@@ -145,7 +163,9 @@ class BPTTTrainer:
 
         if self._compiled is None:
             self._compiled = CompiledTrainStep(self.model, self.loss_fn,
-                                               step_mode=self.config.step_mode)
+                                               step_mode=self.config.step_mode,
+                                               optimize=self.optimize,
+                                               profile=self.profile)
         self.optimizer.zero_grad()
         loss, logits_per_step, replayed = self._compiled.run(batch, labels)
         self.optimizer.step()

@@ -34,6 +34,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 __all__ = [
+    "cached_einsum",
     "TTCores",
     "circular_permute_weight",
     "inverse_circular_permute_weight",
@@ -216,6 +217,23 @@ def tt_decompose_conv(weight: np.ndarray, rank: RankSpec) -> TTCores:
     return cores
 
 
+#: Contraction paths memoised per (subscripts, operand shapes).  TT merges
+#: run the same handful of einsum expressions over and over — per layer, per
+#: registry hot-swap, per compiled-plan constant-fold — and the path search
+#: itself costs more than the small contractions it optimises.
+_EINSUM_PATHS: dict = {}
+
+
+def cached_einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with the contraction path cached across calls."""
+    key = (subscripts,) + tuple(op.shape for op in operands)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(subscripts, *operands, optimize=path)
+
+
 def tt_cores_to_dense(cores: TTCores) -> np.ndarray:
     """Contract the four TT-cores back into a dense ``(O, I, K1, K2)`` weight.
 
@@ -224,5 +242,5 @@ def tt_cores_to_dense(cores: TTCores) -> np.ndarray:
     reconstruction of Eq. (6) lives in :mod:`repro.tt.reconstruct`.
     """
     # (I, r1) x (r1, K1, r2) x (r2, K2, r3) x (r3, O) -> (I, K1, K2, O)
-    permuted = np.einsum("ia,akb,blc,co->iklo", cores.w1, cores.w2, cores.w3, cores.w4, optimize=True)
+    permuted = cached_einsum("ia,akb,blc,co->iklo", cores.w1, cores.w2, cores.w3, cores.w4)
     return inverse_circular_permute_weight(permuted).astype(np.float32)

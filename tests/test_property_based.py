@@ -160,3 +160,140 @@ class TestLIFProperties:
         # Steady-state membrane = scale / (1 - tau_m) = scale / 0.75 <= 0.48,
         # strictly below the 0.5 threshold, so no spike may ever fire.
         assert total == 0.0
+
+
+class TestGraphOptimizerProperties:
+    """Fusion/folding correctness of the plan-time graph optimizer
+    (:mod:`repro.runtime.optimizer`) across random shapes, strides, step
+    modes and TT formats."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds, in_c=st.integers(3, 8), out_c=st.integers(3, 8),
+           rank=st.integers(1, 4), size=st.integers(6, 10),
+           stride=st.integers(1, 2), stride_mode=st.sampled_from(["first", "last"]),
+           variant=st.sampled_from(["stt", "ptt"]))
+    def test_tt_fold_matches_eager_forward(self, seed, in_c, out_c, rank, size,
+                                           stride, stride_mode, variant):
+        """O2-compiled TT layers (folded per Eq. 6 where exact) reproduce the
+        eager forward for any shape/rank/stride/stride-mode combination."""
+        from repro.tt.layers import PTTConv2d, STTConv2d
+
+        rng = np.random.default_rng(seed)
+        cls = STTConv2d if variant == "stt" else PTTConv2d
+        layer = cls(in_c, out_c, 3, rank=rank, stride=stride,
+                    stride_mode=stride_mode, rng=rng)
+        layer.eval()
+        compiled = layer.compile(optimize="O2")
+        x = _array(rng, 2, in_c, size, size)
+        compiled(x)                       # capture
+        replayed = compiled(x)            # optimized replay
+        from repro.autograd.tensor import no_grad
+        with no_grad():
+            want = layer(Tensor(x)).data
+        np.testing.assert_allclose(replayed, want, atol=2e-4, rtol=1e-3)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, timesteps=st.integers(1, 4), n=st.integers(1, 3),
+           size=st.sampled_from([8, 12]), variant=st.sampled_from(["stt", "ptt", "htt"]),
+           mode=st.sampled_from(["single", "fused"]))
+    def test_o1_train_grads_match_o0_any_shape(self, seed, timesteps, n, size,
+                                               variant, mode):
+        """One O1-compiled train step reproduces the O0 loss and gradients to
+        <= 1e-6 for random batch shapes, timestep counts, formats and step
+        modes."""
+        from repro.models.vgg import spiking_vgg9
+        from repro.models.builder import convert_to_tt
+        from repro.training.config import TrainingConfig
+        from repro.training.trainer import BPTTTrainer
+
+        rng = np.random.default_rng(seed)
+        models = []
+        for _ in range(2):
+            model = spiking_vgg9(num_classes=4, in_channels=3, timesteps=timesteps,
+                                 width_scale=0.1, rng=np.random.default_rng(seed))
+            convert_to_tt(model, variant=variant, rank=3, timesteps=timesteps)
+            models.append(model)
+        models[1].load_state_dict(models[0].state_dict())
+        config = TrainingConfig(timesteps=timesteps, batch_size=n, step_mode=mode)
+        t_o0 = BPTTTrainer(models[0], config, compile=True, optimize="O0")
+        t_o1 = BPTTTrainer(models[1], config, compile=True, optimize="O1")
+        data = rng.random((n, 3, size, size)).astype(np.float32)
+        labels = rng.integers(0, 4, n)
+        for _ in range(2):                # capture step, then one replay
+            s0 = t_o0.train_step(data, labels)
+            s1 = t_o1.train_step(data, labels)
+        assert abs(s0["loss"] - s1["loss"]) <= 1e-6
+        for (name, p0), (_, p1) in zip(models[0].named_parameters(),
+                                       models[1].named_parameters()):
+            np.testing.assert_allclose(p0.grad, p1.grad, atol=1e-6,
+                                       err_msg=f"grad {name}")
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds, rows=st.integers(2, 6), cols=st.integers(2, 6),
+           depth=st.integers(2, 5))
+    def test_random_elementwise_chains_fuse_exactly(self, seed, rows, cols, depth):
+        """Random unary/binary elementwise chains replay bit-equal under O1
+        fusion (the fused kernel runs the identical ufunc sequence)."""
+        from repro.runtime import CompiledForward
+
+        rng = np.random.default_rng(seed)
+        constants = [Tensor(_array(rng, rows, cols)) for _ in range(depth)]
+        ops = rng.integers(0, 5, depth)
+
+        def chain(t):
+            out = t
+            for k in range(depth):
+                op = ops[k]
+                if op == 0:
+                    out = out + constants[k]
+                elif op == 1:
+                    out = out * constants[k]
+                elif op == 2:
+                    out = out.tanh()
+                elif op == 3:
+                    out = (out * 0.5).exp()
+                else:
+                    out = out.abs() + 0.1
+            return out
+
+        compiled = CompiledForward(chain, optimize="O1")
+        x = _array(rng, rows, cols)
+        compiled(x)
+        replayed = compiled(x)
+        from repro.autograd.tensor import no_grad
+        with no_grad():
+            want = chain(Tensor(x)).data
+        np.testing.assert_array_equal(replayed, want)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds, features=st.integers(3, 10), momentum=st.floats(0.01, 0.5),
+           gamma_scale=st.floats(0.5, 2.0))
+    def test_bn_fold_matches_unfolded_eval(self, seed, features, momentum, gamma_scale):
+        """Eval-BN folding into the preceding convolution stays within 1e-6 of
+        the unfolded replay for random statistics and affine parameters."""
+        from repro.nn.layers import Conv2d, batch_norm_sequence
+        from repro.runtime import CompiledForward
+        from repro.autograd.tensor import no_grad
+
+        rng = np.random.default_rng(seed)
+        conv = Conv2d(3, features, kernel_size=3, padding=1, rng=rng)
+        running_mean = rng.standard_normal(features).astype(np.float32)
+        running_var = (0.5 + rng.random(features)).astype(np.float32)
+        weight = Tensor((1 + 0.2 * rng.standard_normal(features)).astype(np.float32))
+        bias = Tensor(rng.standard_normal(features).astype(np.float32))
+
+        def fn(t):
+            folded = conv.forward_sequence(t)
+            return batch_norm_sequence(folded, weight, bias, eps=1e-5,
+                                       momentum=momentum, training=False,
+                                       running_mean=running_mean,
+                                       running_var=running_var,
+                                       gamma_scale=gamma_scale, channels_last=True)
+
+        x = rng.random((2, 2, 6, 6, 3)).astype(np.float32)
+        compiled = CompiledForward(fn, optimize="O2")
+        compiled(x)
+        replayed = compiled(x)
+        with no_grad():
+            want = fn(Tensor(x)).data
+        np.testing.assert_allclose(replayed, want, atol=1e-6)
