@@ -11,6 +11,9 @@ values).
 
 from __future__ import annotations
 
+import json
+import os
+
 import numpy as np
 import pytest
 
@@ -23,6 +26,32 @@ BENCH_SCALE = {
     "batch_size": 8,
     "num_classes": 8,
 }
+
+#: machine-readable sink for the runtime/backends benchmark numbers
+BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "BENCH_runtime.json")
+
+
+def record_bench(section: str, payload: dict) -> str:
+    """Merge one benchmark's numbers into ``BENCH_runtime.json``.
+
+    Each benchmark that produces a headline runtime quantity (train-step
+    time, serve latency/QPS, backend speedups) records it under its own
+    ``section`` key; the file is rewritten on every call so a partial or
+    aborted run still leaves valid JSON behind.  Returns the file path.
+    """
+    data: dict = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return BENCH_JSON
 
 
 @pytest.fixture(scope="session")

@@ -30,7 +30,7 @@ from repro.serve import InferenceEngine
 from repro.training.config import TrainingConfig
 from repro.training.trainer import BPTTTrainer
 
-from conftest import BENCH_SCALE, ab_median
+from conftest import BENCH_SCALE, ab_median, record_bench
 
 TIMESTEPS = 4
 TRAIN_BATCH = 16          # larger batch than BENCH_SCALE: allocator churn is
@@ -114,6 +114,12 @@ def test_compiled_train_step_speedup_and_arena_reuse():
           f"speedup {speedup:.2f}x")
     print(f"arena: {stats['arena']}, plan: {stats['plan']}, "
           f"steady-state new allocations: {steady_state_allocs}")
+    record_bench("train_step_compiled_vs_eager", {
+        "model": "vgg9-ptt", "timesteps": TIMESTEPS, "batch": TRAIN_BATCH,
+        "backend": stats["backend"]["active"], "dtype": stats["dtype"],
+        "eager_ms": eager_s * 1e3, "compiled_ms": compiled_s * 1e3,
+        "speedup_vs_eager": speedup,
+    })
 
     assert steady_state_allocs == 0, \
         "steady-state replays must not allocate fresh arena buffers"
@@ -149,6 +155,12 @@ def test_compiled_serve_forward_speedup():
           f"eager {eager_s * 1e3:.2f} ms, compiled {compiled_s * 1e3:.2f} ms, "
           f"speedup {speedup:.2f}x")
     print(f"arena reuse: {stats['arena']}")
+    record_bench("serve_compiled_vs_eager", {
+        "model": "vgg9-ptt", "timesteps": TIMESTEPS, "batch": 1,
+        "backend": stats["backend"]["active"], "dtype": stats["dtype"],
+        "eager_ms": eager_s * 1e3, "compiled_ms": compiled_s * 1e3,
+        "speedup_vs_eager": speedup,
+    })
 
     assert speedup >= 1.2, (
         f"compiled serve forward must be >= 1.2x the PR-2 engine, got {speedup:.2f}x"

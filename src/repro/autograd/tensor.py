@@ -735,14 +735,17 @@ class Workspace:
 
         ``zero=True`` zero-fills only on creation (callers rely on regions
         they never write — e.g. a padded image's border — staying zero).
-        A shape/dtype change (impossible within one compiled plan) recreates
-        the buffer.
+        Buffers are keyed by ``(key, shape, dtype)``, so a caller switching
+        shape or dtype (e.g. a float32 plan after a float64 capture of the
+        same module) gets a distinct buffer instead of silently recreating —
+        or worse, aliasing — the other precision's storage.
         """
-        buffer = self._buffers.get(key)
-        if buffer is not None and buffer.shape == tuple(shape) and buffer.dtype == dtype:
+        full_key = (key, tuple(shape), np.dtype(dtype).str)
+        buffer = self._buffers.get(full_key)
+        if buffer is not None:
             return buffer
         buffer = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
-        self._buffers[key] = buffer
+        self._buffers[full_key] = buffer
         return buffer
 
     def nbytes(self) -> int:

@@ -141,6 +141,29 @@ class Module:
         for param in self.parameters():
             param.zero_grad(set_to_none=set_to_none)
 
+    def astype(self, dtype) -> "Module":
+        """Cast every parameter and floating buffer to ``dtype`` in place.
+
+        The compiled runtime's dtype policy: a plan computes in whatever
+        dtype the weights and inputs carry, so switching a model between
+        ``float32`` and ``float64`` is a one-call recast.  Integer/bool
+        buffers (counters, masks) keep their dtype.  Gradients are cast
+        along so eager accumulation after a recast stays consistent; call
+        before constructing an optimizer — existing optimizer state keeps
+        its old dtype.
+        """
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+        for param in self.parameters():
+            param.data = param.data.astype(dtype, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        for _, buf in self.named_buffers():
+            if buf.data.dtype in (np.float32, np.float64):
+                buf.data = buf.data.astype(dtype, copy=False)
+        return self
+
     def num_parameters(self, trainable_only: bool = True) -> int:
         """Total number of scalar parameters."""
         total = 0
@@ -189,7 +212,8 @@ class Module:
         return self.forward(*args, **kwargs)
 
     def compile(self, fn=None, optimize: str = "O0", profile: bool = False,
-                parallel_workers: int = 0):
+                parallel_workers: int = 0, backend: str = "numpy",
+                dtype=None):
         """Return a compiled (capture/replay) no-grad forward of this module.
 
         The first call per input signature traces one eager forward into an
@@ -209,12 +233,23 @@ class Module:
         ``parallel_workers > 0`` runs independent branches of no-grad O2
         replays on an inter-op thread pool; ``profile=True`` records
         per-kernel timings.
+
+        ``backend`` selects the kernel backend for the plans (``"numpy"``
+        reference, ``"codegen"`` / ``"numba"`` native with per-node
+        fallback, ``"auto"`` for the fastest available — see
+        :mod:`repro.runtime.backends`).  ``dtype`` (``"float32"`` /
+        ``"float64"``) recasts this module in place via :meth:`astype` and
+        makes the compiled forward cast its inputs to match; the default
+        keeps the module's current precision (float32 throughout the repo).
         """
         from repro.runtime.replay import CompiledForward
 
+        if dtype is not None:
+            self.astype(dtype)
         return CompiledForward(fn if fn is not None else self, owner=self,
                                optimize=optimize, profile=profile,
-                               parallel_workers=parallel_workers)
+                               parallel_workers=parallel_workers,
+                               backend=backend, dtype=dtype)
 
     # -- introspection -------------------------------------------------------------
 

@@ -32,12 +32,29 @@ that steady-state overhead with a three-stage pipeline:
    closures, no module dispatch — and re-capture automatically when the
    input signature (shape/dtype/train-mode/timesteps/step-mode) changes.
 
+A **kernel backend registry** (:mod:`~repro.runtime.backends`) sits between
+plan and replay: ``backend="codegen"`` / ``"numba"`` / ``"auto"`` swaps the
+plan's fused ``ew_chain`` and LIF-recurrence nodes for plan-time-generated
+native kernels (shape/dtype/constants baked in, verified against the NumPy
+reference on the captured arrays, per-node fallback on decline), and a
+``dtype`` policy selects float32/float64 end to end.
+
 Entry points: ``BPTTTrainer(..., compile=True)``, ``Module.compile()`` and
 ``InferenceEngine(..., compile=True)``; see the README "Compiled runtime"
-section for measured speedups.
+and "Backends" sections for measured speedups.
 """
 
 from repro.runtime.arena import BufferArena
+from repro.runtime.backends import (
+    Backend,
+    KernelRegistry,
+    NativeKernel,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.runtime.graph import CaptureError, GraphCapture, OpNode, Region, Slot
 from repro.runtime.ops import OPS, OpDef, get_op, register_op
 from repro.runtime.optimizer import OPT_LEVELS, OptimizerReport, optimize_capture
@@ -45,7 +62,15 @@ from repro.runtime.planner import ExecutionPlan, PlanSignatureError, compile_pla
 from repro.runtime.replay import CompiledForward, CompiledTrainStep
 
 __all__ = [
+    "Backend",
     "BufferArena",
+    "KernelRegistry",
+    "NativeKernel",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "CaptureError",
     "GraphCapture",
     "OpNode",

@@ -1,0 +1,43 @@
+"""Multi-backend kernel registry for the compiled runtime.
+
+Importing the package registers the three process backends — ``numpy``
+(reference), ``codegen`` (exec-compiled specialized Python, always
+available) and ``numba`` (``@njit`` flat loops, gracefully absent) — into
+:data:`~repro.runtime.backends.base.REGISTRY`.  See ``README.md`` §Backends
+for the selection/fallback contract.
+"""
+
+from repro.runtime.backends.base import (
+    Backend,
+    KernelRegistry,
+    NativeKernel,
+    REGISTRY,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.backends.codegen_backend import CodegenBackend
+from repro.runtime.backends.numba_backend import NUMBA_AVAILABLE, NumbaBackend
+from repro.runtime.backends.numpy_backend import NumpyBackend
+
+__all__ = [
+    "Backend",
+    "CodegenBackend",
+    "KernelRegistry",
+    "NativeKernel",
+    "NUMBA_AVAILABLE",
+    "NumbaBackend",
+    "NumpyBackend",
+    "REGISTRY",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+]
+
+register_backend(NumpyBackend())
+register_backend(CodegenBackend())
+register_backend(NumbaBackend())

@@ -1,0 +1,732 @@
+"""Plan-time code generation for fused graph nodes.
+
+Emits ONE specialized source function per ``ew_chain`` node and per
+LIF-recurrence node of an optimized capture, with everything the generic
+registry kernels look up per replay — the step program, shapes, dtypes,
+neuron constants, branch structure (hard/soft reset, detach, surrogate
+width) — baked into the source at plan time.  Two emission modes:
+
+``python``
+    NumPy ufunc sequences writing into persistent workspace buffers,
+    ``exec``-compiled.  Mirrors the reference kernels' exact operation
+    order, so results are bit-identical where the reference itself is
+    deterministic; supports every chain the optimizer fuses (including
+    broadcasting mid-chain).  Used by the always-available ``codegen``
+    backend.
+``numba``
+    Flat scalar loops meant for ``@njit`` compilation — a single pass per
+    element with zero intermediate arrays (the big win over a sequence of
+    ufunc dispatches).  Restricted to uniform-shape chains (every step
+    produces the output shape; externals are same-shape or scalar) — the
+    ``numba`` backend declines anything else, falling back per node.  The
+    emitted source is also plain valid Python, which is how the test suite
+    checks its semantics on machines without numba.
+
+:func:`verify_kernel` runs a candidate kernel against the registry
+reference on the captured arrays (forward, and backward when the node is on
+the gradient path) — backends decline any node whose specialized kernel
+does not reproduce the reference within dtype tolerance, so a codegen bug
+degrades to the NumPy path instead of corrupting a plan.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Workspace, _unbroadcast
+
+__all__ = [
+    "UnsupportedNode",
+    "chain_program",
+    "lif_config",
+    "emit_chain_python",
+    "emit_chain_numba",
+    "emit_lif_python",
+    "emit_lif_numba",
+    "compile_python",
+    "verify_kernel",
+    "PyChainKernel",
+    "PyLIFKernel",
+]
+
+
+class UnsupportedNode(Exception):
+    """The node's program is outside what this emitter specializes."""
+
+
+#: ops the elementwise-chain emitters understand (the optimizer's _FUSIBLE set)
+CHAIN_OPS = {"add", "mul", "div", "neg", "exp", "log", "sqrt", "tanh",
+             "sigmoid", "relu", "abs", "clip", "pow"}
+_BINARY = {"add", "mul", "div"}
+
+#: per-dtype (rtol, atol) used by plan-time verification
+VERIFY_TOLERANCE = {
+    "float32": (1e-4, 1e-5),
+    "float64": (1e-7, 1e-10),
+}
+
+
+# ---------------------------------------------------------------------------
+# program extraction
+# ---------------------------------------------------------------------------
+
+
+def chain_program(node, slots) -> Dict[str, object]:
+    """Normalize an ``ew_chain`` node into an emitter-friendly description."""
+    if node.op != "ew_chain":
+        raise UnsupportedNode(f"not an ew_chain node: {node.op}")
+    steps: List[Dict[str, object]] = []
+    for raw in node.attrs["prog"]:
+        op = raw["op"]
+        if op not in CHAIN_OPS:
+            raise UnsupportedNode(f"chain step op {op!r}")
+        step: Dict[str, object] = {
+            "op": op,
+            "ins": tuple(raw["ins"]),
+            "shape": tuple(raw["shape"]),
+            "dtype": np.dtype(raw["dtype"]),
+        }
+        if op == "pow":
+            step["exponent"] = raw["attrs"]["exponent"]
+        elif op == "clip":
+            low, high = raw["attrs"]["low"], raw["attrs"]["high"]
+            if low is None or high is None:
+                raise UnsupportedNode("clip with an open bound")
+            step["low"], step["high"] = low, high
+        steps.append(step)
+    if not steps:
+        raise UnsupportedNode("empty chain program")
+    return {
+        "steps": steps,
+        "n_inputs": len(node.inputs),
+        "in_shapes": [tuple(slots[i].shape) for i in node.inputs],
+        "in_dtypes": [np.dtype(slots[i].dtype) for i in node.inputs],
+        "out_shape": steps[-1]["shape"],
+        "out_dtype": steps[-1]["dtype"],
+    }
+
+
+def lif_config(node, slots) -> Dict[str, object]:
+    """Extract the baked constants of a specialized fused-LIF node.
+
+    Only ``fn_cached`` nodes (O1+ specialization) with a rectangular
+    surrogate and no carried-in membrane are supported — everything else
+    (arctan/sigmoid surrogates, streaming state) stays on the reference
+    kernel.
+    """
+    from repro.snn.neurons import SurrogateRectangular, _FusedLIFSequence
+
+    if node.op != "fn_cached" or node.attrs.get("cls") is not _FusedLIFSequence:
+        raise UnsupportedNode("not a specialized fused-LIF node")
+    ctx = node.attrs["ctx"]
+    if not isinstance(ctx.surrogate, SurrogateRectangular):
+        raise UnsupportedNode(f"surrogate {type(ctx.surrogate).__name__}")
+    if ctx.initial_membrane is not None:
+        raise UnsupportedNode("carried-in initial membrane")
+    if len(node.inputs) != 1:
+        raise UnsupportedNode("fused LIF expects exactly one input")
+    slot = slots[node.inputs[0]]
+    shape = tuple(slot.shape)
+    if len(shape) < 2:
+        raise UnsupportedNode(f"LIF input must be (T, ...), got {shape}")
+    return {
+        "shape": shape,
+        "timesteps": int(shape[0]),
+        "frame": shape[1:],
+        "size": int(np.prod(shape[1:], dtype=np.int64)),
+        "dtype": np.dtype(slot.dtype),
+        "tau": float(ctx.tau_m),
+        "vth": float(ctx.v_threshold),
+        "width": float(ctx.surrogate.width),
+        "hard": bool(ctx.hard_reset),
+        "detach": bool(ctx.detach_reset),
+    }
+
+
+# ---------------------------------------------------------------------------
+# python-mode emission (ufunc sequences into workspace buffers)
+# ---------------------------------------------------------------------------
+
+
+def _dt(dtype) -> str:
+    return repr(np.dtype(dtype).str)
+
+
+def _sh(shape) -> str:
+    return repr(tuple(shape))
+
+
+def _py_fwd_step(lines, index, op, a, b, out, step) -> None:
+    """Append the ufunc sequence computing step ``index`` into buffer ``out``."""
+    if op == "add":
+        lines.append(f"    np.add({a}, {b}, out={out})")
+    elif op == "mul":
+        lines.append(f"    np.multiply({a}, {b}, out={out})")
+    elif op == "div":
+        lines.append(f"    np.divide({a}, {b}, out={out})")
+    elif op == "neg":
+        lines.append(f"    np.negative({a}, out={out})")
+    elif op == "exp":
+        lines.append(f"    np.exp({a}, out={out})")
+    elif op == "log":
+        lines.append(f"    np.log({a}, out={out})")
+    elif op == "sqrt":
+        lines.append(f"    np.sqrt({a}, out={out})")
+    elif op == "tanh":
+        lines.append(f"    np.tanh({a}, out={out})")
+    elif op == "sigmoid":
+        # 1 / (1 + exp(-a)) with a single buffer, same operation order as
+        # the reference kernel.
+        lines.append(f"    np.negative({a}, out={out})")
+        lines.append(f"    np.exp({out}, out={out})")
+        lines.append(f"    np.add({out}, 1.0, out={out})")
+        lines.append(f"    np.divide(1.0, {out}, out={out})")
+    elif op == "relu":
+        mask = f"ws.buf('cgm{index}', {_sh(step['shape'])}, 'bool')"
+        lines.append(f"    m{index} = {mask}")
+        lines.append(f"    np.greater({a}, 0, out=m{index})")
+        lines.append(f"    np.multiply({a}, m{index}, out={out})")
+    elif op == "abs":
+        lines.append(f"    np.abs({a}, out={out})")
+    elif op == "clip":
+        lines.append(f"    np.clip({a}, {step['low']!r}, {step['high']!r}, out={out})")
+    elif op == "pow":
+        lines.append(f"    np.power({a}, {step['exponent']!r}, out={out})")
+    else:  # pragma: no cover - guarded by chain_program
+        raise UnsupportedNode(op)
+
+
+def _py_grad_exprs(op, step, a, b, out, g) -> List[str]:
+    """Gradient expression per input position, mirroring the registry backward."""
+    if op == "add":
+        return [g, g]
+    if op == "mul":
+        return [f"{g} * {b}", f"{g} * {a}"]
+    if op == "div":
+        return [f"{g} / {b}", f"-{g} * {a} / ({b} ** 2)"]
+    if op == "neg":
+        return [f"-{g}"]
+    if op == "exp":
+        return [f"{g} * {out}"]
+    if op == "log":
+        return [f"{g} / {a}"]
+    if op == "sqrt":
+        return [f"{g} * 0.5 / np.maximum({out}, 1e-12)"]
+    if op == "tanh":
+        return [f"{g} * (1.0 - {out} ** 2)"]
+    if op == "sigmoid":
+        return [f"{g} * {out} * (1.0 - {out})"]
+    if op == "relu":
+        return [f"{g} * ({a} > 0).astype({a}.dtype)"]
+    if op == "abs":
+        return [f"{g} * np.sign({a})"]
+    if op == "clip":
+        return [f"{g} * (({a} >= {step['low']!r}) & ({a} <= {step['high']!r}))"
+                f".astype({a}.dtype)"]
+    if op == "pow":
+        e = step["exponent"]
+        return [f"{g} * {e!r} * {a} ** ({e!r} - 1)"]
+    raise UnsupportedNode(op)  # pragma: no cover - guarded by chain_program
+
+
+def _chain_operands(step, index: int) -> Tuple[str, Optional[str]]:
+    """Source expressions for a step's first/second input in python mode."""
+    names = []
+    for spec in step["ins"]:
+        names.append(f"b{index - 1}" if spec < 0 else f"x{spec}")
+    return names[0], (names[1] if len(names) > 1 else None)
+
+
+def emit_chain_python(program, needs) -> str:
+    """Source for ``cg_fwd(ins, ws)`` / ``cg_bwd(g, ins, ws)``.
+
+    The forward writes every step into a persistent workspace buffer (the
+    replay steady state allocates nothing); the backward re-derives each
+    step's gradient with the exact formula, operation order and thread-grad
+    unbroadcasting of :func:`repro.runtime.ops._ew_chain_bwd`.
+    """
+    steps = program["steps"]
+    n_inputs = program["n_inputs"]
+    lines = ["def cg_fwd(ins, ws):"]
+    for k in range(n_inputs):
+        lines.append(f"    x{k} = ins[{k}]")
+    for index, step in enumerate(steps):
+        a, b = _chain_operands(step, index)
+        lines.append(f"    b{index} = ws.buf('cg{index}', {_sh(step['shape'])}, "
+                     f"{_dt(step['dtype'])})")
+        _py_fwd_step(lines, index, step["op"], a, b, f"b{index}", step)
+    lines.append(f"    return b{len(steps) - 1}")
+    lines.append("")
+    lines.append("def cg_bwd(g, ins, ws):")
+    for k in range(n_inputs):
+        lines.append(f"    x{k} = ins[{k}]")
+    for index, step in enumerate(steps[:-1]):
+        # Saved forward intermediates (the last step's buffer is `out` but
+        # is not read by any backward formula that needs re-fetching here).
+        lines.append(f"    b{index} = ws.buf('cg{index}', {_sh(step['shape'])}, "
+                     f"{_dt(step['dtype'])})")
+    last = len(steps) - 1
+    lines.append(f"    b{last} = ws.buf('cg{last}', {_sh(steps[last]['shape'])}, "
+                 f"{_dt(steps[last]['dtype'])})")
+    lines.append("    gcur = np.asarray(g)")
+    written = [False] * n_inputs
+    for index in range(len(steps) - 1, -1, -1):
+        step = steps[index]
+        a, b = _chain_operands(step, index)
+        exprs = _py_grad_exprs(step["op"], step, a, b, f"b{index}", "gcur")
+        thread_expr = None
+        for position, spec in enumerate(step["ins"]):
+            if spec < 0:
+                thread_expr = exprs[position]
+            elif needs[spec]:
+                if written[spec]:
+                    lines.append(f"    gx{spec} = gx{spec} + ({exprs[position]})")
+                else:
+                    lines.append(f"    gx{spec} = {exprs[position]}")
+                    written[spec] = True
+        if index == 0:
+            break
+        previous = steps[index - 1]
+        lines.append(f"    gcur = _unbroadcast(np.asarray(({thread_expr}), "
+                     f"dtype={_dt(previous['dtype'])}), {_sh(previous['shape'])})")
+    lines.append(f"    grads = [None] * {n_inputs}")
+    for k in range(n_inputs):
+        if written[k]:
+            lines.append(f"    grads[{k}] = gx{k}")
+    lines.append("    return grads")
+    return "\n".join(lines) + "\n"
+
+
+def emit_lif_python(cfg) -> str:
+    """Source for ``lif_fwd`` / ``lif_fwd_infer`` / ``lif_bwd`` (python mode).
+
+    The timestep loop is unrolled with the neuron constants and the
+    hard/soft-reset and detach branches resolved at emission time; the
+    operation sequence matches :class:`~repro.snn.neurons._FusedLIFSequence`
+    exactly, so spikes and gradients are bit-identical to the reference.
+    """
+    shape, frame, dtype = cfg["shape"], cfg["frame"], cfg["dtype"]
+    timesteps, tau, vth = cfg["timesteps"], cfg["tau"], cfg["vth"]
+    width, hard, detach = cfg["width"], cfg["hard"], cfg["detach"]
+    sh, fr, dt = _sh(shape), _sh(frame), _dt(dtype)
+
+    def _body(lines, save: bool) -> None:
+        lines.append(f"    spk = ws.buf('cg_spk', {sh}, {dt})")
+        if save:
+            lines.append(f"    mem = ws.buf('cg_mem', {sh}, {dt})")
+        lines.append(f"    post = ws.buf('cg_post', {fr}, {dt})")
+        lines.append(f"    scr = ws.buf('cg_scr', {fr}, {dt})")
+        if not save:
+            lines.append(f"    m = ws.buf('cg_m', {fr}, {dt})")
+        lines.append("    np.copyto(post, 0.0)")
+        for t in range(timesteps):
+            if save:
+                lines.append(f"    m = mem[{t}]")
+            lines.append(f"    np.multiply(post, {tau!r}, out=m)")
+            lines.append(f"    m += cur[{t}]")
+            lines.append(f"    s = spk[{t}]")
+            lines.append(f"    np.greater_equal(m, {vth!r}, out=s, casting='unsafe')")
+            if hard:
+                lines.append("    np.subtract(1.0, s, out=scr)")
+                lines.append("    np.multiply(m, scr, out=post)")
+            else:
+                lines.append(f"    np.multiply(s, {vth!r}, out=scr)")
+                lines.append("    np.subtract(m, scr, out=post)")
+        lines.append("    return spk")
+
+    lines = ["def lif_fwd(cur, ws):"]
+    _body(lines, save=True)
+    lines.append("")
+    lines.append("def lif_fwd_infer(cur, ws):")
+    _body(lines, save=False)
+    lines.append("")
+    lines.append("def lif_bwd(g, ws):")
+    lines.append(f"    mem = ws.buf('cg_mem', {sh}, {dt})")
+    lines.append(f"    spk = ws.buf('cg_spk', {sh}, {dt})")
+    lines.append(f"    gin = ws.buf('cg_gin', {sh}, {dt})")
+    lines.append(f"    gpost = ws.buf('cg_gpost', {fr}, {dt})")
+    lines.append(f"    scr = ws.buf('cg_gscr', {fr}, {dt})")
+    lines.append(f"    pre = ws.buf('cg_pre', {fr}, {dt})")
+    lines.append(f"    mask = ws.buf('cg_mask', {fr}, 'bool')")
+    lines.append(f"    der = ws.buf('cg_der', {fr}, {dt})")
+    lines.append("    gpost.fill(0.0)")
+    for t in range(timesteps - 1, -1, -1):
+        lines.append(f"    m = mem[{t}]")
+        lines.append(f"    gs = g[{t}]")
+        if not detach:
+            if hard:
+                lines.append("    gs = gs - gpost * m")
+            else:
+                lines.append(f"    gs = gs - gpost * {vth!r}")
+        lines.append(f"    np.subtract(m, {vth!r}, out=pre)")
+        lines.append("    np.abs(pre, out=pre)")
+        lines.append(f"    np.less(pre, {width / 2.0!r}, out=mask)")
+        lines.append("    np.copyto(der, mask, casting='unsafe')")
+        if width != 1.0:
+            lines.append(f"    der /= {width!r}")
+        lines.append(f"    gm = gin[{t}]")
+        lines.append("    np.multiply(gs, der, out=gm)")
+        if hard:
+            lines.append(f"    np.subtract(1.0, spk[{t}], out=scr)")
+            lines.append("    scr *= gpost")
+            lines.append("    gm += scr")
+        else:
+            lines.append("    gm += gpost")
+        lines.append(f"    np.multiply(gm, {tau!r}, out=gpost)")
+    lines.append("    return gin")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# numba-mode emission (flat scalar loops)
+# ---------------------------------------------------------------------------
+
+
+def _const_prefix(dtype) -> List[str]:
+    """Typed-constant header so float32 kernels compute in float32."""
+    name = "np.float32" if np.dtype(dtype) == np.float32 else "np.float64"
+    return [f"DT = {name}", "ZERO = DT(0.0)", "ONE = DT(1.0)", ""]
+
+
+def _classify_chain_inputs(program) -> List[str]:
+    """``'array'`` / ``'scalar'`` per external input, or raise if unsupported."""
+    out_shape = program["out_shape"]
+    out_dtype = program["out_dtype"]
+    kinds = []
+    for shape, dtype in zip(program["in_shapes"], program["in_dtypes"]):
+        if dtype != out_dtype:
+            raise UnsupportedNode(f"mixed chain dtypes {dtype}/{out_dtype}")
+        if int(np.prod(shape, dtype=np.int64)) == 1:
+            kinds.append("scalar")
+        elif tuple(shape) == tuple(out_shape):
+            kinds.append("array")
+        else:
+            raise UnsupportedNode(f"broadcast input {shape} vs out {out_shape}")
+    for step in program["steps"]:
+        if tuple(step["shape"]) != tuple(out_shape):
+            raise UnsupportedNode(
+                f"non-uniform step shape {step['shape']} vs {out_shape}")
+        if step["dtype"] != out_dtype:
+            raise UnsupportedNode("non-uniform step dtype")
+    return kinds
+
+
+def _nb_operand(step, index: int, kinds) -> Tuple[str, Optional[str]]:
+    names = []
+    for spec in step["ins"]:
+        if spec < 0:
+            names.append(f"v{index - 1}")
+        elif kinds[spec] == "scalar":
+            names.append(f"x{spec}")
+        else:
+            names.append(f"x{spec}[i]")
+    return names[0], (names[1] if len(names) > 1 else None)
+
+
+def _nb_fwd_expr(op, step, a, b) -> str:
+    if op == "add":
+        return f"{a} + {b}"
+    if op == "mul":
+        return f"{a} * {b}"
+    if op == "div":
+        return f"{a} / {b}"
+    if op == "neg":
+        return f"-{a}"
+    if op == "exp":
+        return f"math.exp({a})"
+    if op == "log":
+        return f"math.log({a})"
+    if op == "sqrt":
+        return f"math.sqrt({a})"
+    if op == "tanh":
+        return f"math.tanh({a})"
+    if op == "sigmoid":
+        return f"ONE / (ONE + math.exp(-({a})))"
+    if op == "relu":
+        return f"({a} if {a} > ZERO else ZERO)"
+    if op == "abs":
+        return f"abs({a})"
+    if op == "clip":
+        lo, hi = f"DT({step['low']!r})", f"DT({step['high']!r})"
+        return f"({lo} if {a} < {lo} else ({hi} if {a} > {hi} else {a}))"
+    if op == "pow":
+        return f"{a} ** DT({step['exponent']!r})"
+    raise UnsupportedNode(op)  # pragma: no cover - guarded by chain_program
+
+
+def _nb_grad_exprs(op, step, a, b, out, g) -> List[str]:
+    if op == "add":
+        return [g, g]
+    if op == "mul":
+        return [f"{g} * {b}", f"{g} * {a}"]
+    if op == "div":
+        return [f"{g} / {b}", f"-{g} * {a} / ({b} * {b})"]
+    if op == "neg":
+        return [f"-{g}"]
+    if op == "exp":
+        return [f"{g} * {out}"]
+    if op == "log":
+        return [f"{g} / {a}"]
+    if op == "sqrt":
+        return [f"{g} * DT(0.5) / ({out} if {out} > DT(1e-12) else DT(1e-12))"]
+    if op == "tanh":
+        return [f"{g} * (ONE - {out} * {out})"]
+    if op == "sigmoid":
+        return [f"{g} * {out} * (ONE - {out})"]
+    if op == "relu":
+        return [f"({g} if {a} > ZERO else ZERO)"]
+    if op == "abs":
+        return [f"({g} if {a} > ZERO else (-{g} if {a} < ZERO else ZERO))"]
+    if op == "clip":
+        lo, hi = f"DT({step['low']!r})", f"DT({step['high']!r})"
+        return [f"({g} if ({a} >= {lo} and {a} <= {hi}) else ZERO)"]
+    if op == "pow":
+        e = f"DT({step['exponent']!r})"
+        return [f"{g} * {e} * {a} ** ({e} - ONE)"]
+    raise UnsupportedNode(op)  # pragma: no cover - guarded by chain_program
+
+
+def emit_chain_numba(program, needs) -> Tuple[str, List[str]]:
+    """Flat-loop source for a uniform-shape chain; returns ``(source, kinds)``.
+
+    ``cg_fwd(x0.., b0..)`` computes all steps in one pass per element,
+    saving each step value into its (raveled) buffer; ``cg_bwd(g, x0..,
+    b0.., gx..)`` replays the chain rule per element with scalar
+    accumulators for size-1 externals.  Raises :class:`UnsupportedNode`
+    for broadcast chains (the numba backend then falls back per node).
+    """
+    kinds = _classify_chain_inputs(program)
+    steps = program["steps"]
+    n_inputs = program["n_inputs"]
+    last = len(steps) - 1
+
+    xs = [f"x{k}" for k in range(n_inputs)]
+    bufs = [f"b{i}" for i in range(len(steps))]
+    lines = list(_const_prefix(program["out_dtype"]))
+    lines.append(f"def cg_fwd({', '.join(xs + bufs)}):")
+    lines.append(f"    n = b{last}.shape[0]")
+    lines.append("    for i in range(n):")
+    for index, step in enumerate(steps):
+        a, b = _nb_operand(step, index, kinds)
+        lines.append(f"        v{index} = {_nb_fwd_expr(step['op'], step, a, b)}")
+        lines.append(f"        b{index}[i] = v{index}")
+    lines.append("")
+
+    grad_args = [f"gx{k}" for k in range(n_inputs) if needs[k]]
+    lines.append(f"def cg_bwd({', '.join(['g'] + xs + bufs + grad_args)}):")
+    lines.append("    n = g.shape[0]")
+    for k in range(n_inputs):
+        if needs[k] and kinds[k] == "scalar":
+            lines.append(f"    acc{k} = ZERO")
+    lines.append("    for i in range(n):")
+    lines.append("        gc = g[i]")
+    seen_counts = [0] * n_inputs
+    for index in range(len(steps) - 1, -1, -1):
+        step = steps[index]
+        # Forward VALUES of this step's inputs, read back from the saved
+        # step buffers / external arrays.
+        names = []
+        for spec in step["ins"]:
+            if spec < 0:
+                names.append(f"b{index - 1}[i]")
+            elif kinds[spec] == "scalar":
+                names.append(f"x{spec}")
+            else:
+                names.append(f"x{spec}[i]")
+        a, b = names[0], (names[1] if len(names) > 1 else None)
+        exprs = _nb_grad_exprs(step["op"], step, a, b, f"b{index}[i]", "gc")
+        thread_expr = None
+        for position, spec in enumerate(step["ins"]):
+            if spec < 0:
+                thread_expr = exprs[position]
+                continue
+            if not needs[spec]:
+                continue
+            if kinds[spec] == "scalar":
+                lines.append(f"        acc{spec} = acc{spec} + ({exprs[position]})")
+            elif seen_counts[spec]:
+                lines.append(f"        gx{spec}[i] = gx{spec}[i] + ({exprs[position]})")
+            else:
+                lines.append(f"        gx{spec}[i] = {exprs[position]}")
+            seen_counts[spec] += 1
+        if index > 0:
+            lines.append(f"        gc = {thread_expr}")
+    for k in range(n_inputs):
+        if needs[k] and kinds[k] == "scalar":
+            lines.append(f"    gx{k}[0] = acc{k}")
+    return "\n".join(lines) + "\n", kinds
+
+
+def emit_lif_numba(cfg) -> str:
+    """Flat-loop LIF source: recurrence per element with the membrane in a
+    register, surrogate-gradient BPTT fused into one backward loop."""
+    timesteps = cfg["timesteps"]
+    tau, vth, width = cfg["tau"], cfg["vth"], cfg["width"]
+    hard, detach = cfg["hard"], cfg["detach"]
+    lines = list(_const_prefix(cfg["dtype"]))
+    lines += [f"TAU = DT({tau!r})", f"VTH = DT({vth!r})",
+              f"HALF = DT({width / 2.0!r})",
+              "DIN = ONE / DT(%r)" % width if width != 1.0 else "DIN = ONE", ""]
+
+    def _fwd(name: str, save: bool) -> None:
+        args = "cur, spk, mem" if save else "cur, spk"
+        lines.append(f"def {name}({args}):")
+        lines.append("    M = cur.shape[1]")
+        lines.append("    for j in range(M):")
+        lines.append("        post = ZERO")
+        lines.append(f"        for t in range({timesteps}):")
+        lines.append("            m = post * TAU + cur[t, j]")
+        lines.append("            s = ONE if m >= VTH else ZERO")
+        lines.append("            spk[t, j] = s")
+        if save:
+            lines.append("            mem[t, j] = m")
+        if hard:
+            lines.append("            post = m * (ONE - s)")
+        else:
+            lines.append("            post = m - s * VTH")
+        lines.append("")
+
+    _fwd("lif_fwd", save=True)
+    _fwd("lif_fwd_infer", save=False)
+    lines.append("def lif_bwd(g, spk, mem, gin):")
+    lines.append("    M = g.shape[1]")
+    lines.append("    for j in range(M):")
+    lines.append("        gpost = ZERO")
+    lines.append(f"        for t in range({timesteps - 1}, -1, -1):")
+    lines.append("            m = mem[t, j]")
+    lines.append("            gs = g[t, j]")
+    if not detach:
+        if hard:
+            lines.append("            gs = gs - gpost * m")
+        else:
+            lines.append("            gs = gs - gpost * VTH")
+    lines.append("            d = DIN if abs(m - VTH) < HALF else ZERO")
+    lines.append("            gm = gs * d")
+    if hard:
+        lines.append("            gm = gm + gpost * (ONE - spk[t, j])")
+    else:
+        lines.append("            gm = gm + gpost")
+    lines.append("            gin[t, j] = gm")
+    lines.append("            gpost = gm * TAU")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# compilation + wrappers
+# ---------------------------------------------------------------------------
+
+
+def compile_python(source: str) -> Dict[str, object]:
+    """``exec`` a generated source; returns its function namespace."""
+    env: Dict[str, object] = {"np": np, "math": math, "_unbroadcast": _unbroadcast}
+    exec(compile(source, "<repro-codegen>", "exec"), env)
+    return env
+
+
+class PyChainKernel:
+    """Registry-convention wrapper around an exec-compiled chain source."""
+
+    def __init__(self, funcs: Dict[str, object], ws: Workspace):
+        self._fwd = funcs["cg_fwd"]
+        self._bwd = funcs["cg_bwd"]
+        self._ws = ws
+        self._token = object()
+
+    def forward(self, ins, attrs, out=None):
+        return self._fwd(ins, self._ws), self._token
+
+    def forward_inference(self, ins, attrs, out=None):
+        return self._fwd(ins, self._ws)
+
+    def backward(self, g, ins, out, saved, attrs, needs):
+        if saved is not self._token:
+            # Capture-step backward: the forward ran eagerly before this
+            # kernel existed, so its per-step saved state is the reference
+            # format — delegate to the reference backward once.
+            from repro.runtime.ops import _ew_chain_bwd
+
+            return _ew_chain_bwd(g, ins, out, saved, attrs, needs)
+        return self._bwd(g, ins, self._ws)
+
+
+class PyLIFKernel:
+    """Registry-convention wrapper around an exec-compiled LIF source."""
+
+    def __init__(self, funcs: Dict[str, object], ws: Workspace):
+        self._fwd = funcs["lif_fwd"]
+        self._infer = funcs["lif_fwd_infer"]
+        self._bwd = funcs["lif_bwd"]
+        self._ws = ws
+        self._token = object()
+
+    def forward(self, ins, attrs, out=None):
+        return self._fwd(ins[0], self._ws), self._token
+
+    def forward_inference(self, ins, attrs, out=None):
+        return self._infer(ins[0], self._ws)
+
+    def backward(self, g, ins, out, saved, attrs, needs):
+        if saved is not self._token:
+            grads = saved.backward(np.asarray(g))
+            return list(grads) if isinstance(grads, (tuple, list)) else [grads]
+        return [self._bwd(np.asarray(g), self._ws)]
+
+
+# ---------------------------------------------------------------------------
+# plan-time verification against the reference kernels
+# ---------------------------------------------------------------------------
+
+
+def _verify_grad_pair(ref, nat, slot_shape, dtype, rtol, atol) -> bool:
+    if ref is None or nat is None:
+        return ref is None and nat is None
+    ref = _unbroadcast(np.asarray(ref, dtype=dtype), slot_shape)
+    nat = _unbroadcast(np.asarray(nat, dtype=dtype), slot_shape)
+    return bool(np.allclose(nat, ref, rtol=rtol, atol=atol))
+
+
+def verify_kernel(kernel, node, slots, needs, check_backward: bool) -> bool:
+    """Run ``kernel`` against the registry reference on the capture arrays.
+
+    Returns whether the forward output (and, on gradient paths, every
+    needed input gradient) matches within the dtype's tolerance.  Any
+    exception counts as a failure — the caller declines the node.
+    """
+    from repro.runtime.ops import get_op
+
+    opdef = get_op(node.op)
+    ins = [np.asarray(slots[i].array) for i in node.inputs]
+    if any(a is None for a in ins) or slots[node.out].array is None:
+        return False
+    ref = opdef.forward(list(ins), node.attrs)
+    ref_saved = None
+    if type(ref) is tuple:
+        ref, ref_saved = ref
+    nat = kernel.forward(list(ins), node.attrs)
+    nat_saved = None
+    if type(nat) is tuple:
+        nat, nat_saved = nat
+    dtype = np.dtype(ref.dtype)
+    rtol, atol = VERIFY_TOLERANCE.get(dtype.name, (1e-5, 1e-6))
+    if nat.shape != ref.shape or not np.allclose(nat, ref, rtol=rtol, atol=atol):
+        return False
+    if not check_backward:
+        return True
+    # A deterministic, sign-varied upstream gradient.
+    g = np.cos(np.arange(ref.size, dtype=np.float64)).reshape(ref.shape)
+    g = g.astype(dtype)
+    ref_grads = opdef.backward(np.array(g), list(ins), ref, ref_saved,
+                               node.attrs, needs)
+    nat_grads = kernel.backward(np.array(g), list(ins), nat, nat_saved,
+                                node.attrs, needs)
+    for position, index in enumerate(node.inputs):
+        if not needs[position]:
+            continue
+        slot = slots[index]
+        if not _verify_grad_pair(ref_grads[position], nat_grads[position],
+                                 slot.shape, slot.dtype, rtol, atol):
+            return False
+    return True

@@ -1,0 +1,70 @@
+"""Dependency-free native backend: exec-compiled specialized Python kernels.
+
+For every ``ew_chain`` and fused-LIF node the plan offers, this backend
+emits a specialized source function (python mode of
+:mod:`repro.runtime.backends.codegen` — shapes, dtypes, neuron constants
+and branch structure baked in, all temporaries in persistent workspace
+buffers), ``exec``-compiles it, verifies it against the reference kernel on
+the captured arrays, and hands the planner a :class:`NativeKernel`.  Any
+failure along the way declines the node (per-node fallback to NumPy).
+
+Because it needs nothing beyond NumPy it is always available, which keeps
+the whole native code path — emission, verification, token-guarded
+capture-step backward, fallback accounting — exercised on machines without
+numba.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autograd.tensor import Workspace
+from repro.runtime.backends.base import Backend, NativeKernel
+from repro.runtime.backends.codegen import (
+    PyChainKernel,
+    PyLIFKernel,
+    UnsupportedNode,
+    chain_program,
+    compile_python,
+    emit_chain_python,
+    emit_lif_python,
+    lif_config,
+    verify_kernel,
+)
+
+__all__ = ["CodegenBackend"]
+
+
+def _is_fused_lif(node) -> bool:
+    if node.op != "fn_cached":
+        return False
+    from repro.snn.neurons import _FusedLIFSequence
+
+    return node.attrs.get("cls") is _FusedLIFSequence
+
+
+class CodegenBackend(Backend):
+    """Specialized exec-compiled Python kernels for fused graph nodes."""
+
+    name = "codegen"
+
+    def eligible(self, node) -> bool:
+        return node.op == "ew_chain" or _is_fused_lif(node)
+
+    def compile_node(self, node, slots, needs, node_has_backward: bool
+                     ) -> Optional[NativeKernel]:
+        try:
+            if node.op == "ew_chain":
+                source = emit_chain_python(chain_program(node, slots), needs)
+                impl = PyChainKernel(compile_python(source), Workspace())
+            elif _is_fused_lif(node):
+                source = emit_lif_python(lif_config(node, slots))
+                impl = PyLIFKernel(compile_python(source), Workspace())
+            else:
+                return None
+            if not verify_kernel(impl, node, slots, needs, node_has_backward):
+                return None
+            return NativeKernel(self.name, impl.forward, impl.backward,
+                                impl.forward_inference, label=node.op)
+        except Exception:
+            return None

@@ -1,0 +1,20 @@
+"""The always-on reference backend.
+
+Compiles nothing: every node replays its registry kernel from
+:mod:`repro.runtime.ops`.  This is the parity oracle — native backends are
+verified against it at plan time, and the fallback target whenever a
+backend declines a node or is unavailable in the process.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.backends.base import Backend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(Backend):
+    """Registry kernels as-is; :meth:`compile_node` always declines."""
+
+    name = "numpy"
+    is_reference = True

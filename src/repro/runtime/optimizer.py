@@ -357,7 +357,9 @@ def _fold_tt_regions(graph: _Graph, report: OptimizerReport) -> None:
         memo_key = (kind,) + tuple(id(weights[c]) for c in convs) + (stride, padding)
         weight_slot = memo.get(memo_key)
         if weight_slot is None:
-            weight_slot = graph.new_const(merged.astype(np.float32))
+            # Follow the source weights' precision: a float64 plan must not
+            # fold its TT cores down to float32.
+            weight_slot = graph.new_const(merged.astype(weights[c4].dtype))
             memo[memo_key] = weight_slot
 
         graph.nodes[c4] = OpNode(
@@ -445,12 +447,15 @@ def _fold_bn_eval(graph: _Graph, report: OptimizerReport) -> None:
         conv_weight = graph.slot_value(conv.inputs[1])
         if conv_weight.shape[0] != scale.shape[0]:
             continue
-        new_weight = (conv_weight * scale.reshape(-1, 1, 1, 1)).astype(np.float32)
+        # Folded constants follow the conv weight's precision so float64
+        # serve plans keep float64 parity with the unfolded graph.
+        dtype = conv_weight.dtype
+        new_weight = (conv_weight * scale.reshape(-1, 1, 1, 1)).astype(dtype)
         if len(conv.inputs) == 3:
             old_bias = graph.slot_value(conv.inputs[2])
-            new_bias = (old_bias * scale + shift).astype(np.float32)
+            new_bias = (old_bias * scale + shift).astype(dtype)
         else:
-            new_bias = shift.astype(np.float32)
+            new_bias = shift.astype(dtype)
 
         weight_slot = graph.new_const(new_weight)
         bias_slot = graph.new_const(new_bias)

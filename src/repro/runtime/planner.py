@@ -51,8 +51,16 @@ class ExecutionPlan:
     """
 
     def __init__(self, capture: GraphCapture, arena: BufferArena,
-                 profile: bool = False):
+                 profile: bool = False, backend: str = "numpy"):
+        from repro.runtime.backends import resolve_backend
+
         self._arena = arena
+        # Kernel backend: the requested name degrades gracefully (an
+        # unavailable backend resolves to the reference), and individual
+        # nodes the backend declines fall back per node below.
+        self.backend_request = backend
+        self._backend = resolve_backend(backend)
+        self.backend = self._backend.name
         self.slots = capture.slots
         self.nodes = capture.nodes
         self.input_ids: Dict[str, int] = dict(capture.input_names)
@@ -103,11 +111,18 @@ class ExecutionPlan:
             if slot.kind == INTER and slot.index not in self._keep
             and slot.index not in self._slot_buffer
         ]
+        self._compile_native_kernels()
         self._fwd_steps = [self._make_forward_step(position, node)
                            for position, node in enumerate(self.nodes)]
         self._bwd_steps = [self._make_backward_step(node) for node in self._bwd_nodes]
-        self._fwd_labels = [self._node_label(node) for node in self.nodes]
-        self._bwd_labels = ["bwd:" + self._node_label(node) for node in self._bwd_nodes]
+        self._fwd_labels = [
+            self._decorated_label(node, self._native.get(position))
+            for position, node in enumerate(self.nodes)
+        ]
+        self._bwd_labels = [
+            "bwd:" + self._decorated_label(node, self._native_by_id.get(id(node)))
+            for node in self._bwd_nodes
+        ]
         self._level_groups = self._build_level_groups()
         if self.has_backward:
             loss = self.slots[self.loss_slot]
@@ -120,6 +135,50 @@ class ExecutionPlan:
         if node.op in ("fn", "fn_cached"):
             return f"{node.op}:{node.attrs['cls'].__name__}"
         return node.op
+
+    def _decorated_label(self, node, native) -> str:
+        """Profiler label with the executing backend appended.
+
+        Native-compiled nodes read ``op@<backend>``; nodes the selected
+        native backend was *eligible* for but declined (unsupported program
+        variant, failed plan-time verification) read ``op@fallback`` — the
+        rest replay the reference kernels and keep their bare label.
+        """
+        label = self._node_label(node)
+        if native is not None:
+            return f"{label}@{native.backend}"
+        if not self._backend.is_reference and self._backend.eligible(node):
+            return f"{label}@fallback"
+        return label
+
+    def _compile_native_kernels(self) -> None:
+        """Offer every node to the selected backend; keep what verifies.
+
+        Runs before the capture is sealed, so backends can specialize and
+        verify against the recorded slot arrays.  Declined nodes stay on
+        their registry kernels (per-node fallback); the plan counts both
+        populations so speedups are attributable.
+        """
+        self._native: Dict[int, object] = {}
+        self._native_by_id: Dict[int, object] = {}
+        self.native_nodes = 0
+        self.fallback_nodes = 0
+        backend = self._backend
+        if backend.is_reference:
+            return
+        bwd_ids = {id(node) for node in self._bwd_nodes}
+        for position, node in enumerate(self.nodes):
+            if not backend.eligible(node):
+                continue
+            needs = tuple(self._needs[i] for i in node.inputs)
+            kernel = backend.compile_node(node, self.slots, needs,
+                                          id(node) in bwd_ids)
+            if kernel is None:
+                self.fallback_nodes += 1
+                continue
+            self.native_nodes += 1
+            self._native[position] = kernel
+            self._native_by_id[id(node)] = kernel
 
     def _parallel(self) -> bool:
         return (self._workers > 0 and self._levels is not None
@@ -337,11 +396,17 @@ class ExecutionPlan:
     def _make_forward_step(self, position: int, node):
         opdef = get_op(node.op)
         vals = self._vals
-        forward = opdef.forward
-        if not self.has_backward and opdef.forward_inference is not None:
-            # No backward will ever run: use the lean kernel that skips
-            # saved-state materialisation (columns, argmax maps, histories).
-            forward = opdef.forward_inference
+        native = self._native.get(position)
+        if native is not None:
+            forward = native.forward
+            if not self.has_backward and native.forward_inference is not None:
+                forward = native.forward_inference
+        else:
+            forward = opdef.forward
+            if not self.has_backward and opdef.forward_inference is not None:
+                # No backward will ever run: use the lean kernel that skips
+                # saved-state materialisation (columns, argmax maps, histories).
+                forward = opdef.forward_inference
         attrs = node.attrs
         inputs = node.inputs
         out = node.out
@@ -376,7 +441,11 @@ class ExecutionPlan:
     def _make_backward_step(self, node):
         opdef = get_op(node.op)
         vals, gvals = self._vals, self._gvals
-        backward = opdef.backward
+        native = self._native_by_id.get(id(node))
+        if native is not None and native.backward is not None:
+            backward = native.backward
+        else:
+            backward = opdef.backward
         if backward is None:  # pragma: no cover - differentiable ops all have kernels
             raise CaptureError(f"op '{node.op}' is differentiable but has no backward kernel")
         attrs = node.attrs
@@ -659,6 +728,8 @@ class ExecutionPlan:
             "forward_buffers": float(len({id(b) for b in self._slot_buffer.values()})),
             "grad_buffers": float(len(self._gbuf)),
             "replays": float(self.replay_count),
+            "native_nodes": float(self.native_nodes),
+            "fallback_nodes": float(self.fallback_nodes),
         }
         if self._levels is not None:
             stats["parallel_levels"] = float(self._levels[-1] + 1 if self._levels else 0)
@@ -668,7 +739,7 @@ class ExecutionPlan:
 
 def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None,
                  optimize: str = "O0", parallel_workers: int = 0,
-                 profile: bool = False) -> ExecutionPlan:
+                 profile: bool = False, backend: str = "numpy") -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` from a finished capture.
 
     ``optimize`` selects the plan-time graph-optimizer level (``"O0"`` —
@@ -679,6 +750,13 @@ def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None,
     thread pool.  ``profile=True`` records per-kernel replay timings
     (``ExecutionPlan.kernel_seconds`` / ``kernel_calls``, rendered as a
     top-k table by :func:`repro.metrics.profiler.summarize_runtime`).
+
+    ``backend`` selects the kernel backend (:mod:`repro.runtime.backends`):
+    ``"numpy"`` (reference, default), ``"codegen"`` / ``"numba"`` (native
+    per-node kernels with plan-time verification and per-node fallback), or
+    ``"auto"`` (fastest available).  An unavailable backend silently
+    degrades to the reference; ``plan.backend`` reports what actually runs.
     """
     optimize_capture(capture, optimize, parallel_workers=parallel_workers)
-    return ExecutionPlan(capture, arena or BufferArena(), profile=profile)
+    return ExecutionPlan(capture, arena or BufferArena(), profile=profile,
+                         backend=backend)

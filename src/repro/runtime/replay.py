@@ -44,11 +44,19 @@ class _CompiledBase:
     """Shared plan cache + capture/replay accounting."""
 
     def __init__(self, arena: Optional[BufferArena] = None, optimize: str = "O0",
-                 profile: bool = False, parallel_workers: int = 0):
+                 profile: bool = False, parallel_workers: int = 0,
+                 backend: str = "numpy", dtype=None):
+        from repro.runtime.backends import get_backend
         from repro.runtime.optimizer import OPT_LEVELS
 
         if optimize not in OPT_LEVELS:
             raise ValueError(f"optimize must be one of {OPT_LEVELS}, got {optimize!r}")
+        if backend != "auto":
+            get_backend(backend)  # raise early on unknown names
+        self.backend = backend
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {self.dtype}")
         self.arena = arena or BufferArena()
         self.optimize = optimize
         self.profile = bool(profile)
@@ -65,7 +73,28 @@ class _CompiledBase:
     def _compile(self, capture: GraphCapture):
         return compile_plan(capture, self.arena, optimize=self.optimize,
                             parallel_workers=self.parallel_workers,
-                            profile=self.profile)
+                            profile=self.profile, backend=self.backend)
+
+    def _backend_stats(self) -> Dict[str, object]:
+        """Backend accounting: what was requested, what runs, and how often
+        replays executed native vs fallen-back kernels."""
+        from repro.runtime.backends import available_backends, resolve_backend
+
+        plans = [entry[0] for entry in self._plans.values()]
+        active = plans[-1].backend if plans else resolve_backend(self.backend).name
+        return {
+            "requested": self.backend,
+            "active": active,
+            "available": available_backends(),
+            "native_nodes": sum(plan.native_nodes for plan in plans),
+            "fallback_nodes": sum(plan.fallback_nodes for plan in plans),
+            # Kernel invocations over the runtime's lifetime: every replay of
+            # a plan executes each of its native (resp. fallen-back) nodes.
+            "native_replays": sum(plan.replay_count * plan.native_nodes
+                                  for plan in plans),
+            "fallback_replays": sum(plan.replay_count * plan.fallback_nodes
+                                    for plan in plans),
+        }
 
     def invalidate(self) -> None:
         """Drop every cached plan (buffers return to the arena free lists)."""
@@ -89,7 +118,9 @@ class _CompiledBase:
             "eager_steps": self.eager_count,
             "plans": len(self._plans),
             "optimize": self.optimize,
+            "dtype": self.dtype.name,
             "arena": self.arena.stats(),
+            "backend": self._backend_stats(),
         }
         if self._plans:
             last_plan = next(reversed(self._plans.values()))[0]
@@ -128,8 +159,9 @@ class CompiledTrainStep(_CompiledBase):
 
     def __init__(self, model, loss_fn: Callable, step_mode: Optional[str] = None,
                  arena: Optional[BufferArena] = None, optimize: str = "O0",
-                 profile: bool = False):
-        super().__init__(arena, optimize=optimize, profile=profile)
+                 profile: bool = False, backend: str = "numpy", dtype=None):
+        super().__init__(arena, optimize=optimize, profile=profile,
+                         backend=backend, dtype=dtype)
         self.model = model
         self.loss_fn = loss_fn
         self.step_mode = step_mode
@@ -153,7 +185,7 @@ class CompiledTrainStep(_CompiledBase):
         input signature) and on eager fallbacks (uncompilable model state),
         and ``True`` afterwards.
         """
-        batch = np.asarray(batch, dtype=np.float32)
+        batch = np.asarray(batch, dtype=self.dtype)
         labels = np.asarray(labels)
         key = self.signature(batch)
         if key is None:
@@ -165,7 +197,7 @@ class CompiledTrainStep(_CompiledBase):
         start = time.perf_counter()
         outputs = plan.replay({
             "batch": batch,
-            "labels_onehot": _one_hot(labels, num_classes),
+            "labels_onehot": _one_hot(labels, num_classes, self.dtype),
         })
         loss = plan.loss_value()
         elapsed = time.perf_counter() - start
@@ -196,7 +228,7 @@ class CompiledTrainStep(_CompiledBase):
             capture.placeholder(batch_t, "batch")
             outputs = self.model.run_timesteps(batch_t, step_mode=mode)
             num_classes = int(outputs[0].shape[-1])
-            onehot_t = Tensor(_one_hot(labels, num_classes))
+            onehot_t = Tensor(_one_hot(labels, num_classes, self.dtype))
             capture.placeholder(onehot_t, "labels_onehot")
             loss = self.loss_fn(outputs, onehot_t)
             capture.mark_loss(loss)
@@ -222,9 +254,10 @@ class CompiledForward(_CompiledBase):
     def __init__(self, fn: Callable[[Tensor], Union[Tensor, Sequence[Tensor]]],
                  owner=None, arena: Optional[BufferArena] = None,
                  optimize: str = "O0", profile: bool = False,
-                 parallel_workers: int = 0):
+                 parallel_workers: int = 0, backend: str = "numpy", dtype=None):
         super().__init__(arena, optimize=optimize, profile=profile,
-                         parallel_workers=parallel_workers)
+                         parallel_workers=parallel_workers, backend=backend,
+                         dtype=dtype)
         self.fn = fn
         self.owner = owner
 
@@ -243,7 +276,7 @@ class CompiledForward(_CompiledBase):
 
     def __call__(self, array: np.ndarray) -> Union[np.ndarray, List[np.ndarray]]:
         """Run the compiled forward; output arrays are valid until the next call."""
-        array = np.asarray(array, dtype=np.float32)
+        array = np.asarray(array, dtype=self.dtype)
         key = self.signature(array)
         if key is None:
             return self._eager(array)
@@ -291,8 +324,8 @@ class CompiledForward(_CompiledBase):
         return arrays if is_sequence else arrays[0]
 
 
-def _one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+def _one_hot(labels: np.ndarray, num_classes: int, dtype=np.float32) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64).reshape(-1)
-    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

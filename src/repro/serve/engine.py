@@ -82,6 +82,16 @@ class InferenceEngine:
     profile:
         Record per-kernel replay timings for
         :func:`repro.metrics.profiler.summarize_runtime`'s hot-op table.
+    backend:
+        Kernel backend for the compiled path (:mod:`repro.runtime.backends`):
+        ``"numpy"`` (reference, default), ``"codegen"`` / ``"numba"`` (native
+        per-node kernels with per-node fallback), or ``"auto"`` (fastest
+        available).  Ignored without ``compile=True``.
+    dtype:
+        Serving precision (``"float32"`` / ``"float64"``); the default keeps
+        the snapshot's current precision.  The snapshot model is recast in
+        place (safe under ``copy_model=True``) and request payloads are cast
+        to match.
     """
 
     def __init__(
@@ -94,6 +104,8 @@ class InferenceEngine:
         optimize: Optional[str] = None,
         parallel_replay: int = 0,
         profile: bool = False,
+        backend: str = "numpy",
+        dtype=None,
     ):
         if not isinstance(model, SpikingModel):
             raise TypeError(
@@ -117,6 +129,9 @@ class InferenceEngine:
                 raise ValueError(f"timesteps must be >= 1, got {timesteps}")
             # Re-time the snapshot so run_timesteps simulates exactly this long.
             model.timesteps = int(timesteps)
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+        if dtype is not None:
+            model.astype(self.dtype)
         model.zero_grad()
         model.eval()
         model.step_mode = "fused"
@@ -141,6 +156,8 @@ class InferenceEngine:
                 optimize=optimize,
                 parallel_workers=parallel_replay,
                 profile=profile,
+                backend=backend,
+                dtype=dtype,
             )
 
     # -- properties --------------------------------------------------------------
@@ -152,8 +169,7 @@ class InferenceEngine:
 
     # -- execution ---------------------------------------------------------------
 
-    @staticmethod
-    def _shape_batch(inputs: Union[np.ndarray, Tensor]) -> Tuple[np.ndarray, bool]:
+    def _shape_batch(self, inputs: Union[np.ndarray, Tensor]) -> Tuple[np.ndarray, bool]:
         """Normalise a request payload to ``(N, C, H, W)`` or ``(T, N, C, H, W)``.
 
         Returns the array plus a flag marking a single ``(C, H, W)`` sample
@@ -161,7 +177,7 @@ class InferenceEngine:
         """
         if isinstance(inputs, Tensor):
             inputs = inputs.data
-        data = np.asarray(inputs, dtype=np.float32)
+        data = np.asarray(inputs, dtype=self.dtype)
         if data.ndim == 3:
             return data[None], True
         if data.ndim in (4, 5):
@@ -177,6 +193,9 @@ class InferenceEngine:
         """
         data, single = self._shape_batch(inputs)
         batch = encode_batch(data, self.timesteps)
+        if batch.dtype != self.dtype:
+            # The encoders emit float32; recast for float64 serving policies.
+            batch = batch.astype(self.dtype)
         with self._lock:
             if self._compiled is not None:
                 logits = self._infer_compiled(batch)
@@ -196,9 +215,12 @@ class InferenceEngine:
             # lock): the hot path stays allocation-free, only the pad rows are
             # re-zeroed in case a previous larger request left samples there.
             shape = batch.shape[:1] + (n_padded,) + batch.shape[2:]
-            padded = self._pad_buffers.get(shape)
+            # Keyed by dtype as well: a float32 request must never write
+            # into a float64 pad buffer captured for the same shapes.
+            key = (shape, batch.dtype.str)
+            padded = self._pad_buffers.get(key)
             if padded is None:
-                padded = self._pad_buffers[shape] = np.zeros(shape, dtype=batch.dtype)
+                padded = self._pad_buffers[key] = np.zeros(shape, dtype=batch.dtype)
             padded[:, :n] = batch
             padded[:, n:] = 0.0
             batch = padded

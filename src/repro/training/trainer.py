@@ -107,6 +107,16 @@ class BPTTTrainer:
     profile:
         Record per-kernel replay timings, surfaced as a top-k hot-op table by
         :func:`repro.metrics.profiler.summarize_runtime`.
+    backend:
+        Kernel backend for the compiled runtime (:mod:`repro.runtime.backends`):
+        ``"numpy"`` (reference, default), ``"codegen"`` / ``"numba"`` (native
+        per-node kernels, plan-time verified, per-node fallback to NumPy), or
+        ``"auto"`` (fastest available).  Ignored without ``compile=True``.
+    dtype:
+        Training precision (``"float32"`` / ``"float64"``); the default keeps
+        the model's current precision (float32 throughout the repo).  When
+        given, the model is recast in place (:meth:`~repro.nn.module.Module.astype`)
+        before the optimizer is built, and batches are cast to match.
     """
 
     def __init__(
@@ -118,6 +128,8 @@ class BPTTTrainer:
         compile: bool = False,
         optimize: str = "O1",
         profile: bool = False,
+        backend: str = "numpy",
+        dtype=None,
     ):
         self.model = model
         self.config = config
@@ -126,6 +138,14 @@ class BPTTTrainer:
         self.compile = bool(compile)
         self.optimize = optimize
         self.profile = bool(profile)
+        self.backend = backend
+        if self.compile and backend != "auto":
+            from repro.runtime.backends import get_backend
+
+            get_backend(backend)  # raise early on unknown names
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float32)
+        if dtype is not None:
+            model.astype(self.dtype)
         self._compiled = None
         if config.optimizer.lower() == "adam":
             self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
@@ -141,7 +161,10 @@ class BPTTTrainer:
 
     def train_step(self, data: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
         """One forward+backward+update on a single batch; returns loss/accuracy."""
-        batch = encode_batch(np.asarray(data, dtype=np.float32), self.config.timesteps)
+        batch = encode_batch(np.asarray(data, dtype=self.dtype), self.config.timesteps)
+        if batch.dtype != self.dtype:
+            # The encoders emit float32; recast for float64 training policies.
+            batch = batch.astype(self.dtype)
         if self.augment is not None:
             batch = self.augment(batch)
         labels = np.asarray(labels)
@@ -165,7 +188,9 @@ class BPTTTrainer:
             self._compiled = CompiledTrainStep(self.model, self.loss_fn,
                                                step_mode=self.config.step_mode,
                                                optimize=self.optimize,
-                                               profile=self.profile)
+                                               profile=self.profile,
+                                               backend=self.backend,
+                                               dtype=self.dtype)
         self.optimizer.zero_grad()
         loss, logits_per_step, replayed = self._compiled.run(batch, labels)
         self.optimizer.step()

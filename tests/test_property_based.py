@@ -296,4 +296,6 @@ class TestGraphOptimizerProperties:
         replayed = compiled(x)
         with no_grad():
             want = fn(Tensor(x)).data
-        np.testing.assert_allclose(replayed, want, atol=1e-6)
+        # Folded float32 conv weights reassociate the scale multiply, so the
+        # replay can drift a few ulp past 1e-6 for large gamma_scale values.
+        np.testing.assert_allclose(replayed, want, atol=1e-5, rtol=1e-5)
