@@ -24,6 +24,8 @@ Subpackages
 ``repro.training``   BPTT trainer and the Algorithm-1 pipeline
 ``repro.serve``      inference serving: merged-TT engines, dynamic
                      micro-batching, model registry, response cache, stats
+``repro.obs``        observability: tracing spans, metrics registry,
+                     Chrome-trace / JSONL exporters, flight recorder
 ``repro.search``     one-shot TT-rank/format search: entangled supernet,
                      evolutionary + Gumbel-softmax strategies, hardware-aware
                      Pareto selection
@@ -39,6 +41,7 @@ from repro import (
     metrics,
     models,
     nn,
+    obs,
     optim,
     search,
     serve,
@@ -60,5 +63,6 @@ __all__ = [
     "training",
     "serve",
     "search",
+    "obs",
     "__version__",
 ]

@@ -157,12 +157,31 @@ class DataLoader:
     def _iter_prefetch(self, batches: list) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         buffer: "queue.Queue" = queue.Queue(maxsize=self.prefetch_depth)
         sentinel = object()
+        # Captured on the *consumer* thread so a background failure lands in
+        # the trace the training loop is building, not in a detached tree.
+        from repro.obs.trace import current_span, get_tracer
+
+        tracer = get_tracer()
+        consumer_span = current_span() if tracer.enabled else None
 
         def worker() -> None:
+            done = 0
             try:
                 for batch_idx in batches:
                     buffer.put(self._assemble(batch_idx))
+                    done += 1
             except BaseException as exc:  # propagate to the consumer
+                if tracer.enabled:
+                    # Stamp the failure into the consumer's trace at failure
+                    # time — the exception itself surfaces a batch (or more)
+                    # later, once the consumer drains the buffered items.
+                    span = tracer.start_span(
+                        "data.prefetch_error", parent=consumer_span,
+                        attrs={"error": repr(exc), "batches_assembled": done},
+                        use_current_parent=False)
+                    if span is not None:
+                        span.status = "error"
+                        tracer.finish_span(span)
                 buffer.put((sentinel, exc))
             else:
                 buffer.put((sentinel, None))

@@ -1,0 +1,103 @@
+"""Flight recorder: keep the K slowest request traces for post-hoc debugging.
+
+Exporting *every* span of a busy server is expensive and mostly useless —
+the traces anyone ever reads are the outliers.  The recorder is the bounded
+middle ground: the tracer hands it every finished **root** span, it retains
+the K slowest whose name matches its filter (``serve.request`` by default),
+and :meth:`FlightRecorder.report` serialises their full trees (queue wait,
+batch, replay, per-kernel children) on demand —
+:meth:`repro.serve.server.InferenceServer.debug_report` is the front door.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Iterable, List, Optional, Tuple
+
+from repro.obs.trace import Span
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded min-heap of the slowest matching root spans.
+
+    Parameters
+    ----------
+    capacity:
+        Number of traces retained.
+    names:
+        Root-span names eligible for retention; ``None`` retains any root.
+    """
+
+    def __init__(self, capacity: int = 8,
+                 names: Optional[Iterable[str]] = ("serve.request",)):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.names = frozenset(names) if names is not None else None
+        self._lock = threading.Lock()
+        # (duration, tiebreaker, span) — heap root is the *fastest* retained
+        # trace, so a new slower trace evicts it in O(log K).
+        self._heap: List[Tuple[float, int, Span]] = []
+        self._seq = itertools.count()
+        self.considered = 0
+        self.retained = 0
+
+    def record(self, span: Span) -> bool:
+        """Offer one finished root span; returns whether it was retained."""
+        if self.names is not None and span.name not in self.names:
+            return False
+        duration = span.duration_s or 0.0
+        with self._lock:
+            self.considered += 1
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, (duration, next(self._seq), span))
+                self.retained += 1
+                return True
+            if duration <= self._heap[0][0]:
+                return False
+            heapq.heapreplace(self._heap, (duration, next(self._seq), span))
+            return True
+
+    # -- reading ------------------------------------------------------------------
+
+    def slowest(self) -> List[Span]:
+        """Retained root spans, slowest first."""
+        with self._lock:
+            entries = sorted(self._heap, key=lambda e: -e[0])
+        return [span for _, _, span in entries]
+
+    def threshold_s(self) -> float:
+        """Duration a new trace must exceed to be retained (0 while filling)."""
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                return 0.0
+            return self._heap[0][0]
+
+    def report(self) -> dict:
+        """JSON-able dump: recorder stats plus the retained trace trees."""
+        spans = self.slowest()
+        return {
+            "capacity": self.capacity,
+            "considered": self.considered,
+            "retained": len(spans),
+            "threshold_s": self.threshold_s(),
+            "traces": [span.to_dict(with_children=True) for span in spans],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+            self.considered = 0
+            self.retained = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FlightRecorder(capacity={self.capacity}, retained={len(self)}, "
+                f"threshold_s={self.threshold_s():.6f})")

@@ -554,6 +554,41 @@ class ExecutionPlan:
         self.replay_count += 1
         return [vals[index] for _, index in self.output_ids]
 
+    def replay_profiled(self, inputs: Dict[str, np.ndarray],
+                        grads: Optional[bool] = None):
+        """One replay with per-kernel attribution, regardless of ``profile=``.
+
+        Runs the (serial) profiled executor for this call only and returns
+        ``(outputs, [(label, seconds, calls), ...])`` where the timing rows
+        are the *deltas* this replay added to the cumulative profile — the
+        feed for sampled per-kernel trace spans (:mod:`repro.obs`).  Labels
+        follow schedule order for kernels first seen here; repeated labels
+        (e.g. per-timestep LIF steps sharing one kernel) merge with their
+        call count.
+        """
+        before_s = dict(self.kernel_seconds)
+        before_c = dict(self.kernel_calls)
+        was_profiling = self._profile
+        self._profile = True
+        try:
+            outputs = self.replay(inputs, grads=grads)
+        finally:
+            self._profile = was_profiling
+        timings = []
+        for label, seconds in self.kernel_seconds.items():
+            calls = self.kernel_calls.get(label, 0) - before_c.get(label, 0)
+            if calls > 0:
+                timings.append((label, seconds - before_s.get(label, 0.0), calls))
+        if not was_profiling:
+            # profile=False plans should not keep accumulating state from
+            # sampled replays (runtime_stats() would report a misleading
+            # partial profile); restore the cumulative dicts.
+            self.kernel_seconds.clear()
+            self.kernel_seconds.update(before_s)
+            self.kernel_calls.clear()
+            self.kernel_calls.update(before_c)
+        return outputs, timings
+
     def _run_forward(self) -> None:
         if self._level_groups is not None:
             if self._profile:

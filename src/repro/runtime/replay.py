@@ -27,17 +27,53 @@ eagerly instead of capturing a plan that would bake stale values.
 from __future__ import annotations
 
 import time
+import weakref
 from collections import deque
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.runtime.arena import BufferArena
 from repro.runtime.graph import CaptureError, GraphCapture
 from repro.runtime.planner import compile_plan
 
 __all__ = ["CompiledTrainStep", "CompiledForward"]
+
+#: Live compiled runtimes, so the registry's backend gauges aggregate over
+#: every trainer/engine in the process instead of whichever came last.
+_LIVE_RUNTIMES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _sum_backend_field(field: str) -> float:
+    total = 0
+    for runtime in list(_LIVE_RUNTIMES):
+        try:
+            total += int(runtime._backend_stats()[field])
+        except Exception:  # noqa: BLE001 - a scrape must never raise
+            pass
+    return float(total)
+
+
+for _field in ("native_nodes", "fallback_nodes", "native_replays",
+               "fallback_replays"):
+    _metrics.gauge(f"repro_runtime_{_field}",
+                   f"Compiled-runtime backend accounting: {_field} summed "
+                   f"over live runtimes",
+                   fn=partial(_sum_backend_field, _field))
+
+
+def _kernel_children(timings):
+    """Normalise profile rows to ``op@backend`` span names.
+
+    The planner suffixes only native-compiled labels; reference kernels are
+    unsuffixed, so the trace spells their backend out explicitly.
+    """
+    return [(label if "@" in label else label + "@numpy", seconds, calls)
+            for label, seconds, calls in timings]
 
 
 class _CompiledBase:
@@ -69,6 +105,16 @@ class _CompiledBase:
         self.eager_count = 0
         # Bounded window: long-running servers replay millions of times.
         self.replay_durations: "deque[float]" = deque(maxlen=1024)
+        # Process-wide instruments (get-or-create: shared across runtimes).
+        self._m_captures = _metrics.counter(
+            "repro_runtime_captures_total", "Compiled-plan captures")
+        self._m_replays = _metrics.counter(
+            "repro_runtime_replays_total", "Compiled-plan replays")
+        self._m_eager = _metrics.counter(
+            "repro_runtime_eager_total", "Eager fallbacks (uncompilable state)")
+        self._m_replay_seconds = _metrics.histogram(
+            "repro_runtime_replay_seconds", "Replay wall-clock seconds")
+        _LIVE_RUNTIMES.add(self)
 
     def _compile(self, capture: GraphCapture):
         return compile_plan(capture, self.arena, optimize=self.optimize,
@@ -194,16 +240,29 @@ class CompiledTrainStep(_CompiledBase):
         if entry is None:
             return self._capture(key, batch, labels)
         plan, num_classes = entry
-        start = time.perf_counter()
-        outputs = plan.replay({
+        inputs = {
             "batch": batch,
             "labels_onehot": _one_hot(labels, num_classes, self.dtype),
-        })
+        }
+        tracer = get_tracer()
+        start = time.perf_counter()
+        if tracer.enabled:
+            with tracer.span("runtime.replay", kind="train",
+                             backend=plan.backend, optimize=self.optimize) as sp:
+                if tracer.sample_kernels():
+                    outputs, timings = plan.replay_profiled(inputs)
+                    tracer.add_timed_children(sp, _kernel_children(timings))
+                else:
+                    outputs = plan.replay(inputs)
+        else:
+            outputs = plan.replay(inputs)
         loss = plan.loss_value()
         elapsed = time.perf_counter() - start
         self.replay_count += 1
         self.replay_time_s += elapsed
         self.replay_durations.append(elapsed)
+        self._m_replays.inc()
+        self._m_replay_seconds.observe(elapsed)
         return loss, outputs, True
 
     def _eager(self, batch: np.ndarray,
@@ -213,31 +272,35 @@ class CompiledTrainStep(_CompiledBase):
         Contract-identical to a capture step minus the plan: gradients land
         on ``Parameter.grad`` for the caller's optimiser update.
         """
-        outputs = self.model.run_timesteps(batch, step_mode=self.step_mode)
-        loss = self.loss_fn(outputs, labels)
-        loss.backward()
+        with get_tracer().span("runtime.eager", kind="train"):
+            outputs = self.model.run_timesteps(batch, step_mode=self.step_mode)
+            loss = self.loss_fn(outputs, labels)
+            loss.backward()
         self.eager_count += 1
+        self._m_eager.inc()
         return float(loss.data), [out.data for out in outputs], False
 
     def _capture(self, key: tuple, batch: np.ndarray,
                  labels: np.ndarray) -> Tuple[float, List[np.ndarray], bool]:
         mode = self.step_mode if self.step_mode is not None else self.model.step_mode
         start = time.perf_counter()
-        with GraphCapture() as capture:
-            batch_t = Tensor(batch)
-            capture.placeholder(batch_t, "batch")
-            outputs = self.model.run_timesteps(batch_t, step_mode=mode)
-            num_classes = int(outputs[0].shape[-1])
-            onehot_t = Tensor(_one_hot(labels, num_classes, self.dtype))
-            capture.placeholder(onehot_t, "labels_onehot")
-            loss = self.loss_fn(outputs, onehot_t)
-            capture.mark_loss(loss)
-            for index, out in enumerate(outputs):
-                capture.mark_output(out, f"logits_t{index}")
-        plan = self._compile(capture)
-        plan.backward_from_capture()
+        with get_tracer().span("runtime.capture", kind="train"):
+            with GraphCapture() as capture:
+                batch_t = Tensor(batch)
+                capture.placeholder(batch_t, "batch")
+                outputs = self.model.run_timesteps(batch_t, step_mode=mode)
+                num_classes = int(outputs[0].shape[-1])
+                onehot_t = Tensor(_one_hot(labels, num_classes, self.dtype))
+                capture.placeholder(onehot_t, "labels_onehot")
+                loss = self.loss_fn(outputs, onehot_t)
+                capture.mark_loss(loss)
+                for index, out in enumerate(outputs):
+                    capture.mark_output(out, f"logits_t{index}")
+            plan = self._compile(capture)
+            plan.backward_from_capture()
         self.capture_time_s += time.perf_counter() - start
         self.capture_count += 1
+        self._m_captures.inc()
         self._plans[key] = (plan, num_classes)
         return float(loss.data), [out.data for out in outputs], False
 
@@ -284,41 +347,58 @@ class CompiledForward(_CompiledBase):
         if entry is None:
             return self._capture(key, array)
         plan, is_sequence = entry
+        tracer = get_tracer()
         start = time.perf_counter()
-        outputs = plan.replay({"input": array}, grads=False)
+        if tracer.enabled:
+            with tracer.span("runtime.replay", kind="forward",
+                             backend=plan.backend, optimize=self.optimize) as sp:
+                if tracer.sample_kernels():
+                    outputs, timings = plan.replay_profiled({"input": array},
+                                                            grads=False)
+                    tracer.add_timed_children(sp, _kernel_children(timings))
+                else:
+                    outputs = plan.replay({"input": array}, grads=False)
+        else:
+            outputs = plan.replay({"input": array}, grads=False)
         elapsed = time.perf_counter() - start
         self.replay_count += 1
         self.replay_time_s += elapsed
         self.replay_durations.append(elapsed)
+        self._m_replays.inc()
+        self._m_replay_seconds.observe(elapsed)
         return outputs if is_sequence else outputs[0]
 
     def _eager(self, array: np.ndarray) -> Union[np.ndarray, List[np.ndarray]]:
         """No-grad eager forward for uncompilable owner state."""
-        with no_grad():
-            result = self.fn(Tensor(array))
+        with get_tracer().span("runtime.eager", kind="forward"):
+            with no_grad():
+                result = self.fn(Tensor(array))
         self.eager_count += 1
+        self._m_eager.inc()
         if isinstance(result, (list, tuple)):
             return [out.data for out in result]
         return result.data
 
     def _capture(self, key: tuple, array: np.ndarray):
         start = time.perf_counter()
-        with no_grad():
-            with GraphCapture() as capture:
-                input_t = Tensor(array)
-                capture.placeholder(input_t, "input")
-                result = self.fn(input_t)
-                is_sequence = isinstance(result, (list, tuple))
-                tensors = list(result) if is_sequence else [result]
-                for index, out in enumerate(tensors):
-                    if not isinstance(out, Tensor):
-                        raise CaptureError(
-                            f"compiled forward must return Tensors, got {type(out).__name__}"
-                        )
-                    capture.mark_output(out, f"out{index}")
-        plan = self._compile(capture)
+        with get_tracer().span("runtime.capture", kind="forward"):
+            with no_grad():
+                with GraphCapture() as capture:
+                    input_t = Tensor(array)
+                    capture.placeholder(input_t, "input")
+                    result = self.fn(input_t)
+                    is_sequence = isinstance(result, (list, tuple))
+                    tensors = list(result) if is_sequence else [result]
+                    for index, out in enumerate(tensors):
+                        if not isinstance(out, Tensor):
+                            raise CaptureError(
+                                f"compiled forward must return Tensors, got {type(out).__name__}"
+                            )
+                        capture.mark_output(out, f"out{index}")
+            plan = self._compile(capture)
         self.capture_time_s += time.perf_counter() - start
         self.capture_count += 1
+        self._m_captures.inc()
         self._plans[key] = (plan, is_sequence)
         arrays = [out.data for out in tensors]
         return arrays if is_sequence else arrays[0]

@@ -34,6 +34,7 @@ from repro.data.datasets import DataLoader, Dataset
 from repro.hardware.accelerator import ExistingAcceleratorModel
 from repro.models.base import SpikingModel
 from repro.models.specs import LayerSpec
+from repro.obs.trace import get_tracer
 from repro.search.cost import measured_params, model_cost
 from repro.search.pareto import ParetoPoint, pareto_front, select_winner
 from repro.search.space import CandidateConfig, LayerChoice
@@ -265,20 +266,23 @@ class Searcher:
         config = self.space.validate_config(config)
         key = self.space.encode(config)
         cached = self._eval_cache.get(key)
-        if cached is not None:
-            return cached
-        self.supernet.apply_config(config)
-        accuracy = evaluate_accuracy(
-            self.supernet, self.val_dataset,
-            batch_size=self.config.eval_batch_size, timesteps=self.timesteps,
-        )
-        cost = model_cost(
-            config, self.specs, timesteps=self.timesteps,
-            half_timesteps=self.half_timesteps, accelerator=self.accelerator,
-        )
-        point = ParetoPoint(config=config, accuracy=accuracy, cost=cost)
-        self._eval_cache[key] = point
-        return point
+        with get_tracer().span("search.candidate", config=str(key),
+                               cached=cached is not None) as sp:
+            if cached is not None:
+                return cached
+            self.supernet.apply_config(config)
+            accuracy = evaluate_accuracy(
+                self.supernet, self.val_dataset,
+                batch_size=self.config.eval_batch_size, timesteps=self.timesteps,
+            )
+            cost = model_cost(
+                config, self.specs, timesteps=self.timesteps,
+                half_timesteps=self.half_timesteps, accelerator=self.accelerator,
+            )
+            point = ParetoPoint(config=config, accuracy=accuracy, cost=cost)
+            sp.set_attrs(accuracy=accuracy, cost=cost)
+            self._eval_cache[key] = point
+            return point
 
     def finetune(self, model: SpikingModel) -> List[EpochResult]:
         """Fine-tune a materialised winner on the training set."""

@@ -13,6 +13,15 @@ a worker drains the queue into one ``(N, C, H, W)`` batch under a
 policy, runs the engine **once**, and scatters the logit rows back to the
 per-request futures.  Every submitted request resolves exactly once — with a
 result, or with the exception the batch raised, or cancelled at close.
+
+Tracing (:mod:`repro.obs`): when the tracer is enabled, every submitted
+request opens a root ``serve.request`` span whose *object* rides through the
+queue alongside the future — the worker thread finishes the ``queue_wait``
+child at dequeue, opens one shared ``serve.batch`` span around the fused
+forward (linked into **every** co-batched request's tree), and activates it
+so the engine's replay spans (and sampled per-kernel children) nest inside.
+That is the context-var hop that makes "where did this request wait?"
+answerable per request rather than on average.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
 from repro.serve.engine import InferenceEngine
 from repro.serve.stats import ServerStats
 
@@ -54,6 +64,9 @@ class MicroBatcher:
     stats:
         Optional :class:`~repro.serve.stats.ServerStats` receiving per-request
         latencies and per-batch fill/duration records.
+    name:
+        Served-model name carried as the ``model`` attribute on request /
+        batch trace spans.
     """
 
     def __init__(
@@ -63,6 +76,7 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
         stats: Optional[ServerStats] = None,
+        name: Optional[str] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -76,6 +90,7 @@ class MicroBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_ms / 1000.0
         self.stats = stats
+        self.name = name
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -94,10 +109,24 @@ class MicroBatcher:
         if sample.ndim != 3:
             raise ValueError(f"submit expects a single (C, H, W) sample, got {sample.shape}")
         future: Future = Future()
+        tracer = get_tracer()
+        spans = None
+        if tracer.enabled:
+            # The request span is a trace *root* (flight-recorder eligible);
+            # it travels through the queue by reference and is finished by
+            # the worker that answers it.
+            attrs = {"model": self.name} if self.name is not None else None
+            root = tracer.start_span("serve.request", attrs=attrs)
+            qspan = tracer.start_span("serve.queue_wait", parent=root)
+            spans = (root, qspan)
         with self._close_lock:
             if self._closed:
+                if spans is not None:
+                    spans[0].status = "error"
+                    tracer.finish_span(spans[1])
+                    tracer.finish_span(spans[0])
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
-            self._queue.put((sample, future, time.monotonic()))
+            self._queue.put((sample, future, time.monotonic(), spans))
         return future
 
     def infer(self, sample: np.ndarray, timeout: Optional[float] = None) -> np.ndarray:
@@ -140,25 +169,70 @@ class MicroBatcher:
 
     def _process(self, batch: list) -> None:
         """Run one fused forward and scatter the rows to the request futures."""
-        live = [(sample, future, enqueued) for sample, future, enqueued in batch
-                if future.set_running_or_notify_cancel()]
+        tracer = get_tracer()
+        live = []
+        for item in batch:
+            _, future, _, spans = item
+            if future.set_running_or_notify_cancel():
+                live.append(item)
+            elif spans is not None:
+                spans[0].status = "cancelled"
+                tracer.finish_span(spans[1])
+                tracer.finish_span(spans[0])
         if not live:
             return
         start = time.monotonic()
+        start_perf = time.perf_counter()
+        # One shared batch span, parented on the first traced request (the
+        # batch leader) and linked into every other rider's tree below.
+        leader = next((spans[0] for _, _, _, spans in live if spans is not None),
+                      None)
+        batch_span = None
+        if leader is not None:
+            for _, _, _, spans in live:
+                if spans is not None:
+                    tracer.finish_span(spans[1], end_perf=start_perf)
+            batch_span = tracer.start_span(
+                "serve.batch", parent=leader,
+                attrs={"batch_size": len(live), "model": self.name})
         try:
-            stacked = np.stack([sample for sample, _, _ in live], axis=0)
-            results = np.asarray(self._infer_fn(stacked))
+            stacked = np.stack([sample for sample, _, _, _ in live], axis=0)
+            if batch_span is not None:
+                with tracer.activate(batch_span):
+                    results = np.asarray(self._infer_fn(stacked))
+            else:
+                results = np.asarray(self._infer_fn(stacked))
             if results.shape[0] != len(live):
                 raise RuntimeError(
                     f"infer_fn returned {results.shape[0]} rows for {len(live)} requests"
                 )
         except BaseException as error:  # noqa: BLE001 - forwarded to the futures
-            for _, future, _ in live:
+            if batch_span is not None:
+                batch_span.status = "error"
+                batch_span.set_attr("error", repr(error))
+                tracer.finish_span(batch_span)
+            for _, future, _, spans in live:
                 future.set_exception(error)
+                if spans is not None:
+                    root = spans[0]
+                    root.status = "error"
+                    root.set_attr("error", repr(error))
+                    if batch_span is not None and root is not leader:
+                        tracer.link(root, batch_span)
+                    tracer.finish_span(root)
             return
         done = time.monotonic()
-        for row, (_, future, enqueued) in zip(results, live):
+        done_perf = time.perf_counter()
+        if batch_span is not None:
+            tracer.finish_span(batch_span, end_perf=done_perf)
+        for row, (_, future, enqueued, spans) in zip(results, live):
             future.set_result(row)
+            if spans is not None:
+                root = spans[0]
+                if root is not leader:
+                    tracer.link(root, batch_span)
+                root.set_attr("latency_s", done - enqueued)
+                tracer.finish_span(root, end_perf=done_perf)
             if self.stats is not None:
                 self.stats.record_request(done - enqueued)
         if self.stats is not None:

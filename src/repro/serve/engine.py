@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.models.base import SpikingModel
+from repro.obs.trace import get_tracer
 from repro.snn.encoding import encode_batch
 
 __all__ = ["InferenceEngine"]
@@ -192,18 +193,20 @@ class InferenceEngine:
         A single ``(C, H, W)`` sample returns ``(num_classes,)`` logits.
         """
         data, single = self._shape_batch(inputs)
-        batch = encode_batch(data, self.timesteps)
-        if batch.dtype != self.dtype:
-            # The encoders emit float32; recast for float64 serving policies.
-            batch = batch.astype(self.dtype)
-        with self._lock:
-            if self._compiled is not None:
-                logits = self._infer_compiled(batch)
-            else:
-                with no_grad():
-                    outputs = self.model.run_timesteps(batch, step_mode="fused")
-                    logits = sum(o.data for o in outputs) / len(outputs)
-            self._requests_served += logits.shape[0]
+        with get_tracer().span("engine.infer", compiled=self.compile) as sp:
+            batch = encode_batch(data, self.timesteps)
+            if batch.dtype != self.dtype:
+                # The encoders emit float32; recast for float64 serving policies.
+                batch = batch.astype(self.dtype)
+            sp.set_attr("batch_size", int(batch.shape[1]))
+            with self._lock:
+                if self._compiled is not None:
+                    logits = self._infer_compiled(batch)
+                else:
+                    with no_grad():
+                        outputs = self.model.run_timesteps(batch, step_mode="fused")
+                        logits = sum(o.data for o in outputs) / len(outputs)
+                self._requests_served += logits.shape[0]
         return logits[0] if single else logits
 
     def _infer_compiled(self, batch: np.ndarray) -> np.ndarray:
@@ -254,7 +257,9 @@ class InferenceEngine:
             if input_shape is None:
                 raise ValueError("warmup needs a sample or an input_shape (C, H, W)")
             sample = np.zeros(input_shape, dtype=np.float32)
-        self.infer(sample)
+        with get_tracer().span("engine.warmup",
+                               model=self.model.__class__.__name__):
+            self.infer(sample)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"InferenceEngine(model={self.model.__class__.__name__}, "

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.models.base import SpikingModel
+from repro.obs.trace import get_tracer
 from repro.serve.engine import InferenceEngine
 
 __all__ = ["ModelRegistry"]
@@ -90,10 +91,14 @@ class ModelRegistry:
                 if version in self._engines.get(name, {}):
                     raise ValueError(f"model '{name}' already has a version {version!r}; "
                                      "use swap() or pick a new version")
-        engine = self._as_engine(model, **engine_kwargs)
-        if warmup_sample is not None:
-            engine.warmup(sample=warmup_sample)
-        self._publish(name, version, engine, make_latest=make_latest, require_existing=False)
+        with get_tracer().span("serve.publish", model=name, action="register") as sp:
+            engine = self._as_engine(model, **engine_kwargs)
+            if warmup_sample is not None:
+                sp.add_event("warmup")
+                engine.warmup(sample=warmup_sample)
+            self._publish(name, version, engine, make_latest=make_latest,
+                          require_existing=False)
+            sp.set_attr("version", str(self._latest.get(name)))
         return engine
 
     def swap(
@@ -115,10 +120,13 @@ class ModelRegistry:
         with self._lock:
             if name not in self._engines:
                 raise KeyError(f"cannot swap unknown model '{name}'; register() it first")
-        engine = self._as_engine(model, **engine_kwargs)
-        if warmup_sample is not None:
-            engine.warmup(sample=warmup_sample)
-        self._publish(name, version, engine, make_latest=True, require_existing=True)
+        with get_tracer().span("serve.publish", model=name, action="swap") as sp:
+            engine = self._as_engine(model, **engine_kwargs)
+            if warmup_sample is not None:
+                sp.add_event("warmup")
+                engine.warmup(sample=warmup_sample)
+            self._publish(name, version, engine, make_latest=True, require_existing=True)
+            sp.set_attr("version", str(self._latest.get(name)))
         return engine
 
     def unregister(self, name: str, version: Optional[Version] = None) -> None:

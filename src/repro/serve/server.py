@@ -24,6 +24,8 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.models.base import SpikingModel
+from repro.obs.metrics import default_registry
+from repro.obs.trace import get_tracer
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ResponseCache, input_digest
 from repro.serve.engine import InferenceEngine
@@ -74,7 +76,7 @@ class InferenceServer:
         with self._lock:
             if name in self._batchers:
                 return
-            stats = ServerStats()
+            stats = ServerStats(name=name)
             # Resolve the engine per batch (not per registration) so an
             # atomic registry swap redirects queued traffic immediately.
             batcher = MicroBatcher(
@@ -83,6 +85,7 @@ class InferenceServer:
                 max_wait_ms=self.max_wait_ms,
                 num_workers=self.num_workers,
                 stats=stats,
+                name=name,
             )
             self._batchers[name] = batcher
             self._stats[name] = stats
@@ -142,6 +145,14 @@ class InferenceServer:
         stats.record_cache(hit=cached is not None)
         if cached is not None:
             stats.record_request(0.0)
+            tracer = get_tracer()
+            if tracer.enabled:
+                # Cache hits still produce a (near-zero) request trace so a
+                # span log reflects every answered request, not only misses.
+                root = tracer.start_span("serve.request",
+                                         attrs={"model": name, "cache": "hit"})
+                root.add_event("cache_hit", version=str(version))
+                tracer.finish_span(root)
             future: Future = Future()
             future.set_result(cached)
             return future
@@ -181,6 +192,45 @@ class InferenceServer:
     def stats_table(self) -> Dict[str, Dict[str, float]]:
         """``{model_name: headline-stats}`` across every served model."""
         return {name: stats.as_table() for name, stats in self._stats.items()}
+
+    def debug_report(self, metrics: bool = True, flight: bool = True,
+                     runtime: bool = True) -> Dict[str, object]:
+        """Post-hoc inspection bundle: stats, metrics, slowest traces, runtimes.
+
+        Returns a JSON-able dict with
+
+        * ``models`` — the per-model headline stats tables;
+        * ``registry`` — the registry's ``describe()`` rows;
+        * ``metrics`` — a snapshot of the process-wide metrics registry;
+        * ``flight`` — the flight recorder's report (the K slowest request
+          traces with their full span trees), when a recorder is configured;
+        * ``runtime`` — per-model compiled-runtime accounting for engines
+          serving through the capture/replay path.
+        """
+        report: Dict[str, object] = {
+            "models": self.stats_table(),
+            "registry": [
+                {"name": name, "version": str(version), "latest": latest,
+                 "merged_layers": merged}
+                for name, version, latest, merged in self.registry.describe()
+            ],
+        }
+        if metrics:
+            report["metrics"] = default_registry().snapshot()
+        if flight:
+            recorder = get_tracer().flight
+            report["flight"] = recorder.report() if recorder is not None else None
+        if runtime:
+            runtimes: Dict[str, object] = {}
+            for name in self.registry.models():
+                try:
+                    stats = self.registry.get(name).runtime_stats()
+                except KeyError:  # pragma: no cover - racing unregister
+                    continue
+                if stats is not None:
+                    runtimes[name] = stats
+            report["runtime"] = runtimes
+        return report
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -3,9 +3,19 @@
 :class:`ServerStats` is the serving twin of
 :class:`repro.metrics.profiler.TrainingTimeProfiler`: where the trainer
 measures seconds per batch, the server measures requests per second and the
-latency distribution clients actually observe.  The percentile math is shared
-with the metrics package (:func:`repro.metrics.profiler.summarize_latencies`)
-so BENCH recorders and serving endpoints report the same quantities.
+latency distribution clients actually observe.
+
+Since the :mod:`repro.obs` layer landed, ``ServerStats`` is a *view* over
+registered instruments rather than a silo: request latencies feed a
+:class:`repro.obs.metrics.Histogram` (fixed Prometheus-style buckets plus a
+bounded sliding-window reservoir — long-running servers report *recent*
+percentiles at bounded memory), and request / batch / cache counts are
+:class:`~repro.obs.metrics.Counter` instruments.  Constructed with a
+``name``, the instruments register in the process-wide default registry
+under ``{model=<name>}`` labels, so the Prometheus endpoint and this class
+always report the same numbers.  The percentile math stays in
+:func:`repro.metrics.profiler.summarize_latencies` (via the histogram's
+quantile view) so BENCH recorders and serving endpoints can never disagree.
 
 Tracked per named collector:
 
@@ -22,11 +32,15 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
-from repro.metrics.profiler import summarize_latencies
+from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,
+                               default_registry)
 
 __all__ = ["ServerStats"]
+
+#: Latency buckets tuned to NumPy-engine serving: 250 µs .. ~4 s.
+_LATENCY_BUCKETS = tuple(2.5e-4 * 4 ** i for i in range(8))
 
 
 class ServerStats:
@@ -35,23 +49,47 @@ class ServerStats:
     Parameters
     ----------
     max_samples:
-        Cap on retained per-request latency samples; once exceeded the
-        recorder keeps a moving window of the most recent ones so that
-        long-running servers report *recent* percentiles at bounded memory.
+        Cap on the latency reservoir quantiles are computed from; the
+        histogram keeps a sliding window of the most recent observations so
+        that sustained load runs at bounded memory (the bucket counts remain
+        exact over the full lifetime).
+    name:
+        Served-model name.  When given, the underlying instruments register
+        in ``registry`` (default: the process-wide registry) labelled
+        ``{model: name}`` — re-registering the same name repoints the scrape
+        at this collector, which is what a hot-swapped server wants.
+    registry:
+        Target :class:`~repro.obs.metrics.MetricsRegistry`; only consulted
+        when ``name`` is given.
     """
 
-    def __init__(self, max_samples: int = 100_000):
+    def __init__(self, max_samples: int = 100_000, name: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.max_samples = max_samples
+        self.name = name
+        labels = {"model": name} if name is not None else None
+        self._latency = Histogram("repro_serve_request_latency_seconds",
+                                  "Per-request latency (enqueue to response)",
+                                  labels=labels, buckets=_LATENCY_BUCKETS,
+                                  max_samples=max_samples)
+        self._m_requests = Counter("repro_serve_requests_total",
+                                   "Requests answered", labels=labels)
+        self._m_batches = Counter("repro_serve_batches_total",
+                                  "Fused forwards executed", labels=labels)
+        self._m_hits = Counter("repro_serve_cache_hits_total",
+                               "Response-cache hits", labels=labels)
+        self._m_misses = Counter("repro_serve_cache_misses_total",
+                                 "Response-cache misses", labels=labels)
+        if name is not None:
+            target = registry if registry is not None else default_registry()
+            for instrument in (self._latency, self._m_requests, self._m_batches,
+                               self._m_hits, self._m_misses):
+                target.register(instrument, replace=True)
         self._lock = threading.Lock()
-        self._latencies: List[float] = []
         self._batch_sizes: Dict[int, int] = {}
         self._batch_seconds = 0.0
-        self._requests = 0
-        self._batches = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
         self._first_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
 
@@ -60,63 +98,69 @@ class ServerStats:
     def record_request(self, latency_s: float, timestamp: Optional[float] = None) -> None:
         """Record one answered request and its observed latency in seconds."""
         now = timestamp if timestamp is not None else time.monotonic()
+        self._m_requests.inc()
+        self._latency.observe(float(latency_s))
         with self._lock:
-            self._requests += 1
-            self._latencies.append(float(latency_s))
-            if len(self._latencies) > self.max_samples:
-                del self._latencies[: len(self._latencies) - self.max_samples]
             if self._first_ts is None:
                 self._first_ts = now - latency_s
             self._last_ts = now
 
     def record_batch(self, size: int, duration_s: float) -> None:
         """Record one fused forward: how many requests it answered, how long it took."""
+        self._m_batches.inc()
         with self._lock:
-            self._batches += 1
             self._batch_seconds += float(duration_s)
             self._batch_sizes[int(size)] = self._batch_sizes.get(int(size), 0) + 1
 
     def record_cache(self, hit: bool) -> None:
         """Record a response-cache lookup."""
-        with self._lock:
-            if hit:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
+        if hit:
+            self._m_hits.inc()
+        else:
+            self._m_misses.inc()
 
     # -- reading -----------------------------------------------------------------
 
     @property
     def requests(self) -> int:
-        return self._requests
+        return int(self._m_requests.value)
 
     @property
     def batches(self) -> int:
-        return self._batches
+        return int(self._m_batches.value)
 
     @property
     def cache_hits(self) -> int:
-        return self._cache_hits
+        return int(self._m_hits.value)
 
     @property
     def cache_misses(self) -> int:
-        return self._cache_misses
+        return int(self._m_misses.value)
+
+    @property
+    def latency_histogram(self) -> Histogram:
+        """The underlying latency instrument (buckets + reservoir)."""
+        return self._latency
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/p99/mean/max of the retained request latencies (seconds)."""
-        with self._lock:
-            samples = list(self._latencies)
-        return summarize_latencies(samples)
+        summary = self._latency.quantile_summary(percentiles=(50, 95, 99))
+        # The reservoir is a sliding window; lifetime max comes from the
+        # instrument so a historic spike stays visible.
+        if self._latency.count:
+            summary["max_s"] = max(summary["max_s"], self._latency.max)
+        return summary
 
     def qps(self) -> float:
         """Requests per second over the observed window (0 before two requests)."""
+        requests = self.requests
         with self._lock:
-            if self._requests == 0 or self._first_ts is None or self._last_ts is None:
+            if requests == 0 or self._first_ts is None or self._last_ts is None:
                 return 0.0
             window = self._last_ts - self._first_ts
             if window <= 0:
                 return 0.0
-            return self._requests / window
+            return requests / window
 
     def batch_fill_histogram(self) -> Dict[int, int]:
         """``{batch_size: count}`` over every fused forward so far."""
@@ -125,16 +169,17 @@ class ServerStats:
 
     def mean_batch_fill(self) -> float:
         """Average number of requests answered per fused forward."""
+        batches = self.batches
         with self._lock:
             total = sum(size * count for size, count in self._batch_sizes.items())
-            return total / self._batches if self._batches else 0.0
+            return total / batches if batches else 0.0
 
     def as_table(self) -> Dict[str, float]:
         """One flat dict with every headline number (the stats-table row)."""
         latency = self.latency_summary()
         table = {
-            "requests": float(self._requests),
-            "batches": float(self._batches),
+            "requests": float(self.requests),
+            "batches": float(self.batches),
             "qps": self.qps(),
             "mean_batch_fill": self.mean_batch_fill(),
             "p50_ms": latency["p50_s"] * 1e3,
@@ -143,9 +188,9 @@ class ServerStats:
             "mean_ms": latency["mean_s"] * 1e3,
             "max_ms": latency["max_s"] * 1e3,
         }
-        if self._cache_hits or self._cache_misses:
-            table["cache_hits"] = float(self._cache_hits)
-            table["cache_misses"] = float(self._cache_misses)
+        if self.cache_hits or self.cache_misses:
+            table["cache_hits"] = float(self.cache_hits)
+            table["cache_misses"] = float(self.cache_misses)
         return table
 
     def format_table(self) -> str:
@@ -161,13 +206,13 @@ class ServerStats:
 
     def reset(self) -> None:
         """Forget everything (e.g. after a model hot-swap)."""
+        self._latency.reset()
+        self._m_requests.reset()
+        self._m_batches.reset()
+        self._m_hits.reset()
+        self._m_misses.reset()
         with self._lock:
-            self._latencies.clear()
             self._batch_sizes.clear()
             self._batch_seconds = 0.0
-            self._requests = 0
-            self._batches = 0
-            self._cache_hits = 0
-            self._cache_misses = 0
             self._first_ts = None
             self._last_ts = None

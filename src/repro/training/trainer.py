@@ -17,6 +17,7 @@ import numpy as np
 from repro.autograd.tensor import no_grad
 from repro.data.datasets import ArrayDataset, DataLoader, Dataset, EventDataset
 from repro.models.base import SpikingModel
+from repro.obs.trace import get_tracer
 from repro.optim import SGD, Adam, CosineAnnealingLR
 from repro.snn.encoding import encode_batch
 from repro.snn.loss import mean_output_cross_entropy
@@ -161,24 +162,30 @@ class BPTTTrainer:
 
     def train_step(self, data: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
         """One forward+backward+update on a single batch; returns loss/accuracy."""
-        batch = encode_batch(np.asarray(data, dtype=self.dtype), self.config.timesteps)
-        if batch.dtype != self.dtype:
-            # The encoders emit float32; recast for float64 training policies.
-            batch = batch.astype(self.dtype)
-        if self.augment is not None:
-            batch = self.augment(batch)
-        labels = np.asarray(labels)
-        if self.compile:
-            return self._compiled_step(batch, labels)
-        self.optimizer.zero_grad()
-        outputs = self.model.run_timesteps(batch, step_mode=self.config.step_mode)
-        loss = self.loss_fn(outputs, labels)
-        loss.backward()
-        self.optimizer.step()
+        tracer = get_tracer()
+        with tracer.span("train.step", compiled=self.compile,
+                         batch_size=int(np.asarray(data).shape[0])):
+            batch = encode_batch(np.asarray(data, dtype=self.dtype), self.config.timesteps)
+            if batch.dtype != self.dtype:
+                # The encoders emit float32; recast for float64 training policies.
+                batch = batch.astype(self.dtype)
+            if self.augment is not None:
+                batch = self.augment(batch)
+            labels = np.asarray(labels)
+            if self.compile:
+                return self._compiled_step(batch, labels)
+            self.optimizer.zero_grad()
+            with tracer.span("train.forward"):
+                outputs = self.model.run_timesteps(batch, step_mode=self.config.step_mode)
+                loss = self.loss_fn(outputs, labels)
+            with tracer.span("train.backward"):
+                loss.backward()
+            with tracer.span("train.optimizer"):
+                self.optimizer.step()
 
-        mean_logits = sum(o.data for o in outputs) / len(outputs)
-        accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
-        return {"loss": float(loss.data), "accuracy": accuracy}
+            mean_logits = sum(o.data for o in outputs) / len(outputs)
+            accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
+            return {"loss": float(loss.data), "accuracy": accuracy}
 
     def _compiled_step(self, batch: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
         """Capture/replay variant of :meth:`train_step` (same contract)."""
@@ -192,8 +199,12 @@ class BPTTTrainer:
                                                backend=self.backend,
                                                dtype=self.dtype)
         self.optimizer.zero_grad()
+        # The forward+backward span (runtime.replay / capture / eager) is
+        # opened inside CompiledTrainStep.run, with per-kernel children when
+        # sampling is on; only the eager parameter update is timed here.
         loss, logits_per_step, replayed = self._compiled.run(batch, labels)
-        self.optimizer.step()
+        with get_tracer().span("train.optimizer"):
+            self.optimizer.step()
 
         mean_logits = sum(logits_per_step) / len(logits_per_step)
         accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
@@ -225,11 +236,23 @@ class BPTTTrainer:
         self.model.train()
         losses: List[float] = []
         accuracies: List[float] = []
+        tracer = get_tracer()
         start = time.perf_counter()
-        for data, labels in loader:
-            stats = self.train_step(data, labels)
-            losses.append(stats["loss"])
-            accuracies.append(stats["accuracy"])
+        with tracer.span("train.epoch", epoch=epoch) as epoch_span:
+            # Explicit iterator so the time spent *waiting on data* (loader
+            # shuffle/stack, prefetch-queue gets) is attributed to its own
+            # span, separate from the train.step compute below.
+            batches = iter(loader)
+            while True:
+                with tracer.span("train.data_wait"):
+                    try:
+                        data, labels = next(batches)
+                    except StopIteration:
+                        break
+                stats = self.train_step(data, labels)
+                losses.append(stats["loss"])
+                accuracies.append(stats["accuracy"])
+            epoch_span.set_attr("batches", len(losses))
         duration = time.perf_counter() - start
         if self.scheduler is not None:
             self.scheduler.step()
