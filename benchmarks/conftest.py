@@ -31,27 +31,36 @@ BENCH_SCALE = {
 BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                           "BENCH_runtime.json")
 
+#: machine-readable sink for the data-parallel training benchmark numbers
+BENCH_PARALLEL_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "BENCH_parallel.json")
 
-def record_bench(section: str, payload: dict) -> str:
-    """Merge one benchmark's numbers into ``BENCH_runtime.json``.
+
+def record_bench(section: str, payload: dict, path: str = None) -> str:
+    """Merge one benchmark's numbers into a ``BENCH_*.json`` sink.
 
     Each benchmark that produces a headline runtime quantity (train-step
     time, serve latency/QPS, backend speedups) records it under its own
     ``section`` key; the file is rewritten on every call so a partial or
-    aborted run still leaves valid JSON behind.  Returns the file path.
+    aborted run still leaves valid JSON behind.  ``path`` defaults to
+    ``BENCH_runtime.json``; the data-parallel benchmarks write to their own
+    ``BENCH_parallel.json`` so either suite can run alone.  Returns the
+    file path.
     """
+    if path is None:
+        path = BENCH_JSON
     data: dict = {}
-    if os.path.exists(BENCH_JSON):
+    if os.path.exists(path):
         try:
-            with open(BENCH_JSON) as handle:
+            with open(path) as handle:
                 data = json.load(handle)
         except (OSError, ValueError):
             data = {}
     data[section] = payload
-    with open(BENCH_JSON, "w") as handle:
+    with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    return BENCH_JSON
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -102,22 +102,56 @@ class DataLoader:
     bit-deterministic with the non-prefetch iterator for a given ``seed``
     (per-sample ``transform`` callables must not share unseeded global
     state).
+
+    **Sharding** (data-parallel workers): with ``num_shards=S,
+    shard_index=k`` the loader walks the *same* epoch permutation as the
+    unsharded loader, but yields only the ``k``-th ``np.array_split``
+    piece of every global batch.  All shards therefore agree on batch
+    boundaries and stay in lockstep — ``len()`` is unchanged, the union of
+    one batch across shards is exactly the unsharded batch (in order), and
+    a shard's piece of a short final batch may be empty (shape ``(0,
+    ...)``).  Epoch permutations derive from ``(seed, epoch)`` — each
+    ``__iter__`` advances an internal epoch counter, and
+    :meth:`set_epoch` pins it, so independently constructed shard loaders
+    (e.g. in separate worker processes) reproduce the same order without
+    sharing RNG state, and a resumed run can rewind to any epoch.
     """
 
     def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
                  drop_last: bool = False, seed: Optional[int] = None,
-                 prefetch: bool = False, prefetch_depth: int = 2):
+                 prefetch: bool = False, prefetch_depth: int = 2,
+                 num_shards: int = 1, shard_index: int = 0):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if prefetch_depth < 1:
             raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if not 0 <= shard_index < num_shards:
+            raise ValueError(f"shard_index must be in [0, {num_shards}), "
+                             f"got {shard_index}")
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
         self.drop_last = drop_last
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
-        self._rng = np.random.default_rng(seed)
+        self.num_shards = num_shards
+        self.shard_index = shard_index
+        # Materialise an entropy base even for seed=None so that sharded
+        # loaders *could* agree if handed the same loader object's seed.
+        self.seed = seed if seed is not None else int(
+            np.random.SeedSequence().entropy % (2 ** 32))
+        self._epoch = 0
+
+    def set_epoch(self, epoch: int) -> None:
+        """Pin the permutation epoch for the next ``__iter__``.
+
+        Shard loaders constructed independently (e.g. in forked workers)
+        call this with the coordinator's epoch number so every shard draws
+        the identical ``(seed, epoch)`` permutation.
+        """
+        self._epoch = int(epoch)
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -126,23 +160,40 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def _assemble(self, batch_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        samples = [self.dataset[int(i)] for i in batch_idx]
-        data = np.stack([s[0] for s in samples], axis=0)
-        labels = np.array([s[1] for s in samples], dtype=np.int64)
+        if len(batch_idx) == 0:
+            # An empty shard of a short final batch: keep the sample shape
+            # (probing item 0 so transforms that reshape are respected).
+            probe = np.asarray(self.dataset[0][0]) if len(self.dataset) else \
+                np.empty((0,), dtype=np.float32)
+            data = np.empty((0,) + probe.shape, dtype=np.float32)
+            labels = np.empty((0,), dtype=np.int64)
+        else:
+            samples = [self.dataset[int(i)] for i in batch_idx]
+            data = np.stack([s[0] for s in samples], axis=0)
+            labels = np.array([s[1] for s in samples], dtype=np.int64)
         if data.ndim == 5:
             # (N, T, C, H, W) -> (T, N, C, H, W) for the timestep loop.
             data = np.transpose(data, (1, 0, 2, 3, 4))
         return data, labels
 
+    def _permutation(self, epoch: int) -> np.ndarray:
+        """The epoch's sample order, a pure function of ``(seed, epoch)``."""
+        if not self.shuffle:
+            return np.arange(len(self.dataset))
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(epoch,)))
+        return rng.permutation(len(self.dataset))
+
     def _batch_indices(self) -> list:
-        indices = np.arange(len(self.dataset))
-        if self.shuffle:
-            self._rng.shuffle(indices)
+        indices = self._permutation(self._epoch)
+        self._epoch += 1
         batches = []
         for start in range(0, len(indices), self.batch_size):
             batch_idx = indices[start:start + self.batch_size]
             if self.drop_last and len(batch_idx) < self.batch_size:
                 break
+            if self.num_shards > 1:
+                batch_idx = np.array_split(batch_idx, self.num_shards)[self.shard_index]
             batches.append(batch_idx)
         return batches
 

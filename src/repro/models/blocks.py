@@ -27,8 +27,10 @@ def make_norm(kind: str, num_features: int, timesteps: int = 4,
     """Factory for the normalisation layer variants used across experiments.
 
     ``kind`` is one of ``"bn"`` (plain batch norm, the paper's default),
-    ``"tdbn"`` (threshold-dependent BN, Table III row 1) or ``"tebn"``
-    (temporal effective BN, Table III row 2).
+    ``"tdbn"`` (threshold-dependent BN, Table III row 1), ``"tebn"``
+    (temporal effective BN, Table III row 2) or ``"none"`` (identity — for
+    ablations and for data-parallel parity checks, where batch statistics
+    would otherwise differ between shard sizes).
     """
     kind = kind.lower()
     if kind == "bn":
@@ -37,7 +39,9 @@ def make_norm(kind: str, num_features: int, timesteps: int = 4,
         return TDBatchNorm2d(num_features, v_threshold=v_threshold, alpha=alpha)
     if kind == "tebn":
         return TEBatchNorm2d(num_features, timesteps=timesteps)
-    raise ValueError(f"unknown norm kind '{kind}'; options: bn, tdbn, tebn")
+    if kind == "none":
+        return Identity()
+    raise ValueError(f"unknown norm kind '{kind}'; options: bn, tdbn, tebn, none")
 
 
 class SpikingConvBlock(Module):

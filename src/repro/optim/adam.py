@@ -60,3 +60,35 @@ class Adam:
             m_hat = self._m[index] / bias1
             v_hat = self._v[index] / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        """Serialisable optimiser state (moments, step counter, hyper-parameters).
+
+        The step counter matters as much as the moments: bias correction is a
+        function of it, so resuming with ``step=0`` would re-apply the large
+        early-step corrections to converged moments.
+        """
+        return {
+            "lr": self.lr,
+            "betas": (self.beta1, self.beta2),
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "step": self._step,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = state["lr"]
+        self.beta1, self.beta2 = state["betas"]
+        self.eps = state["eps"]
+        self.weight_decay = state["weight_decay"]
+        self._step = int(state["step"])
+        for name in ("m", "v"):
+            if len(state[name]) != len(self.params):
+                raise ValueError(f"moment buffer count for {name!r} does not "
+                                 f"match parameter count")
+        self._m = [np.asarray(m, dtype=p.data.dtype).copy()
+                   for m, p in zip(state["m"], self.params)]
+        self._v = [np.asarray(v, dtype=p.data.dtype).copy()
+                   for v, p in zip(state["v"], self.params)]

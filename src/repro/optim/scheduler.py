@@ -79,6 +79,28 @@ class CosineAnnealingLR(_Scheduler):
             # first (most fragile) epoch would train at the full base LR.
             self.optimizer.lr = self.get_lr()
 
+    def state_dict(self) -> Dict[str, float]:
+        """Full schedule state: counter plus every shape hyper-parameter.
+
+        Serialising ``t_max``/``eta_min``/warm-up alongside ``last_epoch``
+        means a resumed run reproduces the exact LR curve even when the
+        restoring trainer constructed its scheduler with different defaults
+        (e.g. a changed ``schedule_horizon`` in the config).
+        """
+        state = super().state_dict()
+        state.update(t_max=self.t_max, eta_min=self.eta_min,
+                     warmup_epochs=self.warmup_epochs,
+                     warmup_start_factor=self.warmup_start_factor)
+        return state
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self.t_max = int(state.get("t_max", self.t_max))
+        self.eta_min = float(state.get("eta_min", self.eta_min))
+        self.warmup_epochs = int(state.get("warmup_epochs", self.warmup_epochs))
+        self.warmup_start_factor = float(
+            state.get("warmup_start_factor", self.warmup_start_factor))
+        super().load_state_dict(state)
+
     def get_lr(self) -> float:
         if self.warmup_epochs > 0 and self.last_epoch < self.warmup_epochs:
             ramp = self.last_epoch / self.warmup_epochs
@@ -98,6 +120,16 @@ class StepLR(_Scheduler):
             raise ValueError(f"step_size must be positive, got {step_size}")
         self.step_size = step_size
         self.gamma = gamma
+
+    def state_dict(self) -> Dict[str, float]:
+        state = super().state_dict()
+        state.update(step_size=self.step_size, gamma=self.gamma)
+        return state
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        self.step_size = int(state.get("step_size", self.step_size))
+        self.gamma = float(state.get("gamma", self.gamma))
+        super().load_state_dict(state)
 
     def get_lr(self) -> float:
         return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))

@@ -89,4 +89,9 @@ class SGD:
         if velocity is not None:
             if len(velocity) != len(self.params):
                 raise ValueError("velocity buffer count does not match parameter count")
-            self._velocity = [None if v is None else np.asarray(v) for v in velocity]
+            # Cast + copy: checkpoints may round-trip through float64, and a
+            # shared reference into the loaded state would alias later updates.
+            self._velocity = [
+                None if v is None else np.asarray(v, dtype=p.data.dtype).copy()
+                for v, p in zip(velocity, self.params)
+            ]

@@ -1,0 +1,518 @@
+"""Process pool for data-parallel training and parallel search evaluation.
+
+The pool owns ``num_workers`` forked processes, two shared-memory buffers
+(weights + per-worker gradient rows, :mod:`repro.parallel.shm`) and one
+duplex pipe per worker.  Workers are *stateless replicas*: they never step
+an optimizer — every command that touches the model starts by copying the
+coordinator's weights out of shared memory, so the coordinator's parameter
+state is always authoritative (which is what makes checkpoint/resume and
+elastic worker counts trivial).
+
+Command set (coordinator → worker):
+
+* ``step`` — run forward+backward on explicitly shipped micro-shards,
+  write the scaled float64 gradient into this worker's shared row.
+* ``epoch_start`` / ``epoch_step`` / ``epoch_end`` — same compute, but the
+  worker assembles its micro-shards from its own shard-aware
+  :class:`~repro.data.datasets.DataLoader` (``num_shards``/``shard_index``),
+  so epoch data never crosses the pipe.
+* ``eval_config`` — apply a search-space candidate to the replica (a
+  :class:`~repro.search.supernet.TTSupernet`) and score it on the worker's
+  validation dataset: the parallel half of ``repro.search``.
+* ``stats`` / ``ping`` / ``shutdown`` — bookkeeping.
+
+Failure model: a worker that raises mid-command reports the traceback and
+keeps serving (the *coordinator* decides to shut the pool down — see
+:class:`WorkerCrashError`); a worker that dies outright is detected by the
+pipe poll loop.  Either way :meth:`WorkerPool.close` terminates every
+process and unlinks both shared-memory segments, so no orphaned segments
+survive a crash (asserted in ``tests/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.shm import ParamBlock, SharedArray, tree_reduce_rows
+
+__all__ = ["WorkerPool", "WorkerCrashError"]
+
+#: default seconds the coordinator waits for one worker reply before
+#: declaring the pool wedged (shards are laptop-scale; minutes means hung)
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker raised (or died) mid-command; the pool has been shut down.
+
+    ``rank`` identifies the worker and ``remote_traceback`` carries the
+    worker-side traceback text when the worker managed to report one
+    (``None`` when the process died without a message).
+    """
+
+    def __init__(self, rank: int, message: str,
+                 remote_traceback: Optional[str] = None):
+        detail = f"worker {rank}: {message}"
+        if remote_traceback:
+            detail += f"\n--- worker traceback ---\n{remote_traceback}"
+        super().__init__(detail)
+        self.rank = rank
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(rank: int, conn, spec: Dict[str, object]) -> None:
+    """Entry point of one worker process (see module docstring for commands)."""
+    # Workers report timings over the pipe; the coordinator synthesises
+    # `train.worker` spans from them.  A forked tracer would otherwise emit
+    # detached duplicate trees through inherited exporters.
+    from repro.obs.trace import get_tracer
+
+    get_tracer().enabled = False
+
+    weights = SharedArray.attach(spec["weights_name"], (spec["total"],))
+    grads = SharedArray.attach(spec["grads_name"],
+                               (spec["num_workers"], spec["total"]))
+    model = spec["model"]
+    block: ParamBlock = spec["block"]
+    params = [p for p in model.parameters() if p.requires_grad]
+    engine = _WorkerEngine(model, spec)
+    row = grads.array[rank]
+    loaders: Optional[List] = None
+
+    def sync_weights() -> None:
+        block.read_params(weights.array, params)
+
+    def run_shards(shards, total_n: int) -> Dict[str, float]:
+        """Forward+backward every micro-shard; write the scaled grad row."""
+        t_start = time.perf_counter()
+        sync_weights()
+        row[:] = 0.0
+        loss_scaled = 0.0
+        correct = 0
+        n_local = 0
+        replayed = True
+        for data, labels in shards:
+            n_k = int(np.asarray(labels).shape[0])
+            if n_k == 0:
+                continue
+            loss, shard_correct, shard_replayed = engine.forward_backward(data, labels)
+            scale = n_k / total_n
+            block.accumulate_grads(row, params, scale)
+            loss_scaled += loss * scale
+            correct += shard_correct
+            n_local += n_k
+            replayed = replayed and shard_replayed
+        t_end = time.perf_counter()
+        return {"loss_scaled": loss_scaled, "correct": correct, "n": n_local,
+                "replayed": replayed and n_local > 0,
+                "t_start": t_start, "t_end": t_end}
+
+    def make_loaders():
+        from repro.data.datasets import DataLoader
+
+        accum = int(spec["accum_steps"])
+        num_shards = int(spec["num_workers"]) * accum
+        return [
+            DataLoader(spec["train_dataset"], batch_size=int(spec["batch_size"]),
+                       shuffle=bool(spec["shuffle"]), drop_last=bool(spec["drop_last"]),
+                       seed=spec["seed"], num_shards=num_shards,
+                       shard_index=rank * accum + i,
+                       prefetch=bool(spec["prefetch"]))
+            for i in range(accum)
+        ]
+
+    iterators: List = []
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # coordinator went away
+            break
+        cmd = msg.get("cmd")
+        if cmd == "shutdown":
+            conn.send({"status": "ok"})
+            break
+        try:
+            if cmd == "step":
+                payload = run_shards(msg["shards"], int(msg["total_n"]))
+            elif cmd == "epoch_start":
+                if spec.get("train_dataset") is None:
+                    raise RuntimeError("pool was created without a train dataset")
+                if loaders is None:
+                    loaders = make_loaders()
+                for loader in loaders:
+                    loader.set_epoch(int(msg["epoch"]))
+                iterators = [iter(loader) for loader in loaders]
+                for _ in range(int(msg.get("skip", 0))):
+                    for it in iterators:
+                        next(it)
+                payload = {"batches": len(loaders[0])}
+            elif cmd == "epoch_step":
+                payload = run_shards([next(it) for it in iterators],
+                                     int(msg["total_n"]))
+            elif cmd == "epoch_end":
+                iterators = []
+                payload = {}
+            elif cmd == "eval_config":
+                payload = engine.eval_config(sync_weights, msg)
+            elif cmd == "stats":
+                payload = {"runtime": engine.runtime_stats()}
+            elif cmd == "ping":
+                payload = {"pong": rank}
+            else:
+                raise ValueError(f"unknown worker command {cmd!r}")
+        except BaseException as exc:  # noqa: BLE001 - report, let coordinator decide
+            try:
+                conn.send({"status": "error", "error": repr(exc),
+                           "traceback": traceback.format_exc()})
+            except (OSError, ValueError):
+                break
+            continue
+        payload["status"] = "ok"
+        conn.send(payload)
+
+    weights.close()
+    grads.close()
+    conn.close()
+
+
+class _WorkerEngine:
+    """Per-worker forward/backward engine mirroring ``BPTTTrainer.train_step``.
+
+    Owns (a forked replica of) the model plus an optional compiled
+    :class:`~repro.runtime.replay.CompiledTrainStep`; never steps an
+    optimizer — gradients are the product, parameter updates arrive through
+    the shared weights buffer.
+    """
+
+    def __init__(self, model, spec: Dict[str, object]):
+        self.model = model
+        self.loss_fn = spec["loss_fn"]
+        self.augment = spec.get("augment")
+        self.timesteps = int(spec["timesteps"])
+        self.step_mode = spec.get("step_mode")
+        self.val_dataset = spec.get("val_dataset")
+        self.dtype = np.dtype(spec["dtype"])
+        self._params = [p for p in model.parameters() if p.requires_grad]
+        self._compiled = None
+        if spec.get("compile"):
+            from repro.runtime.replay import CompiledTrainStep
+
+            self._compiled = CompiledTrainStep(
+                model, self.loss_fn, step_mode=self.step_mode,
+                optimize=spec.get("optimize", "O1"),
+                backend=spec.get("backend", "numpy"), dtype=self.dtype)
+
+    def forward_backward(self, data, labels) -> Tuple[float, int, bool]:
+        """One micro-shard step; returns ``(mean loss, correct, replayed)``."""
+        from repro.snn.encoding import encode_batch
+
+        batch = encode_batch(np.asarray(data, dtype=self.dtype), self.timesteps)
+        if batch.dtype != self.dtype:
+            batch = batch.astype(self.dtype)
+        if self.augment is not None:
+            batch = self.augment(batch)
+        labels = np.asarray(labels)
+        for param in self._params:
+            param.zero_grad(set_to_none=True)
+        if self._compiled is not None:
+            loss, logits_per_step, replayed = self._compiled.run(batch, labels)
+            mean_logits = sum(logits_per_step) / len(logits_per_step)
+        else:
+            outputs = self.model.run_timesteps(batch, step_mode=self.step_mode)
+            loss_t = self.loss_fn(outputs, labels)
+            loss_t.backward()
+            loss = float(loss_t.data)
+            mean_logits = sum(o.data for o in outputs) / len(outputs)
+            replayed = False
+        correct = int((np.argmax(mean_logits, axis=1) == labels).sum())
+        return float(loss), correct, bool(replayed)
+
+    def eval_config(self, sync_weights: Callable[[], None],
+                    msg: Dict[str, object]) -> Dict[str, object]:
+        """Score one search candidate on this worker's validation dataset."""
+        from repro.training.trainer import evaluate_accuracy
+
+        if self.val_dataset is None:
+            raise RuntimeError("pool was created without a validation dataset")
+        t_start = time.perf_counter()
+        sync_weights()
+        self.model.apply_config(msg["config"])
+        accuracy = evaluate_accuracy(
+            self.model, self.val_dataset, batch_size=int(msg["batch_size"]),
+            timesteps=int(msg["timesteps"]))
+        return {"accuracy": float(accuracy), "t_start": t_start,
+                "t_end": time.perf_counter()}
+
+    def runtime_stats(self) -> Optional[Dict[str, object]]:
+        return self._compiled.runtime_stats() if self._compiled is not None else None
+
+
+class WorkerPool:
+    """Spawn and coordinate ``num_workers`` model-replica processes.
+
+    Parameters mirror :class:`~repro.training.trainer.BPTTTrainer` where
+    they overlap; the pool itself is engine-agnostic — the
+    :class:`~repro.parallel.trainer.DataParallelTrainer` drives it for
+    training, :class:`~repro.search.searcher.Searcher` for candidate
+    evaluation.  Workers are forked (``start_method="fork"``), so the model
+    and datasets are inherited copy-on-write and never pickled.
+    """
+
+    def __init__(
+        self,
+        model,
+        num_workers: int,
+        *,
+        loss_fn=None,
+        timesteps: Optional[int] = None,
+        step_mode: Optional[str] = None,
+        augment=None,
+        compile: bool = False,
+        optimize: str = "O1",
+        backend: str = "numpy",
+        dtype=None,
+        effective_batch: int = 1,
+        accum_steps: int = 1,
+        train_dataset=None,
+        val_dataset=None,
+        batch_size: Optional[int] = None,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        prefetch: bool = False,
+        seed: Optional[int] = 0,
+        start_method: str = "fork",
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if accum_steps < 1:
+            raise ValueError(f"accum_steps must be >= 1, got {accum_steps}")
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} unavailable on this platform "
+                f"(have: {multiprocessing.get_all_start_methods()})")
+        from repro.snn.loss import mean_output_cross_entropy
+
+        self.model = model
+        self.num_workers = num_workers
+        self.accum_steps = accum_steps
+        self._params = [p for p in model.parameters() if p.requires_grad]
+        self.block = ParamBlock(
+            (n, p) for n, p in model.named_parameters() if p.requires_grad)
+        self.weights = SharedArray.create("dp-weights", (self.block.total,))
+        self.grads = SharedArray.create("dp-grads",
+                                        (num_workers, self.block.total))
+        self._closed = False
+        self.busy_seconds = [0.0] * num_workers
+        self.started_at = time.perf_counter()
+
+        spec: Dict[str, object] = {
+            "model": model,
+            "block": self.block,
+            "total": self.block.total,
+            "num_workers": num_workers,
+            "accum_steps": accum_steps,
+            "weights_name": self.weights.name,
+            "grads_name": self.grads.name,
+            "loss_fn": loss_fn or mean_output_cross_entropy,
+            "timesteps": timesteps if timesteps is not None
+                         else getattr(model, "timesteps", 1),
+            "step_mode": step_mode,
+            "augment": augment,
+            "compile": compile,
+            "optimize": optimize,
+            "backend": backend,
+            "dtype": np.dtype(dtype) if dtype is not None else np.dtype(np.float32),
+            "effective_batch": effective_batch,
+            "train_dataset": train_dataset,
+            "val_dataset": val_dataset,
+            "batch_size": batch_size or effective_batch,
+            "shuffle": shuffle,
+            "drop_last": drop_last,
+            "prefetch": prefetch,
+            "seed": seed,
+        }
+        self._val_dataset = val_dataset
+
+        ctx = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._procs = []
+        try:
+            for rank in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(target=_worker_main, name=f"repro-dp-{rank}",
+                                   args=(rank, child_conn, spec), daemon=True)
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send(self, rank: int, msg: Dict[str, object]) -> None:
+        try:
+            self._conns[rank].send(msg)
+        except (OSError, ValueError) as exc:
+            self._crash(rank, f"pipe send failed ({exc!r})")
+
+    def broadcast(self, msg: Dict[str, object],
+                  per_rank: Optional[Callable[[int], Dict[str, object]]] = None) -> None:
+        for rank in range(self.num_workers):
+            self.send(rank, dict(msg, **(per_rank(rank) if per_rank else {})))
+
+    def recv(self, rank: int, timeout: float = DEFAULT_TIMEOUT_S) -> Dict[str, object]:
+        """Wait for one reply from ``rank``; crash the pool on error/death."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if conn.poll(0.05):
+                    reply = conn.recv()
+                    break
+            except (EOFError, OSError):
+                self._crash(rank, "worker process died mid-command")
+            if not proc.is_alive():
+                # Drain any final message the worker flushed before dying.
+                try:
+                    if conn.poll(0):
+                        reply = conn.recv()
+                        break
+                except (EOFError, OSError):
+                    pass
+                self._crash(rank, f"worker process exited (code {proc.exitcode})")
+            if time.monotonic() > deadline:
+                self._crash(rank, f"no reply within {timeout:.0f}s")
+        if reply.get("status") == "error":
+            self._crash(rank, reply.get("error", "unknown error"),
+                        reply.get("traceback"))
+        if "t_start" in reply:
+            self.busy_seconds[rank] += reply["t_end"] - reply["t_start"]
+        return reply
+
+    def gather(self, timeout: float = DEFAULT_TIMEOUT_S) -> List[Dict[str, object]]:
+        """Collect one reply per worker, in rank order."""
+        return [self.recv(rank, timeout=timeout) for rank in range(self.num_workers)]
+
+    def map(self, messages: Sequence[Dict[str, object]],
+            timeout: float = DEFAULT_TIMEOUT_S) -> List[Dict[str, object]]:
+        """Run arbitrary per-item commands across the pool, preserving order.
+
+        Items are handed to workers as they free up (simple greedy
+        scheduler); used by the searcher, where candidates are independent
+        and of uneven cost.
+        """
+        results: List[Optional[Dict[str, object]]] = [None] * len(messages)
+        pending = list(enumerate(messages))
+        inflight: Dict[int, int] = {}  # rank -> item index
+        free = list(range(self.num_workers))
+        while pending or inflight:
+            while pending and free:
+                index, msg = pending.pop(0)
+                rank = free.pop(0)
+                self.send(rank, msg)
+                inflight[rank] = index
+            # Wait for whichever in-flight worker answers first.
+            ready = multiprocessing.connection.wait(
+                [self._conns[rank] for rank in inflight], timeout=timeout)
+            if not ready:
+                self._crash(next(iter(inflight)), f"no reply within {timeout:.0f}s")
+            for conn in ready:
+                rank = self._conns.index(conn)
+                results[inflight.pop(rank)] = self.recv(rank, timeout=timeout)
+                free.append(rank)
+        return results  # type: ignore[return-value]
+
+    # -- all-reduce ---------------------------------------------------------------
+
+    def sync_weights(self) -> None:
+        """Serialise the coordinator's parameters into the shared weights buffer."""
+        self.block.write_params(self.weights.array, self._params)
+
+    def reduce_gradients(self) -> np.ndarray:
+        """Tree-reduce every worker's scaled gradient row; returns the flat sum."""
+        return tree_reduce_rows(self.grads.array, self.num_workers)
+
+    def assign_reduced_gradients(self) -> None:
+        """Reduce and deposit the result on the coordinator's ``param.grad``."""
+        self.block.assign_grads(self.reduce_gradients(), self._params)
+
+    # -- health / stats -----------------------------------------------------------
+
+    def ping(self) -> List[int]:
+        self.broadcast({"cmd": "ping"})
+        return [reply["pong"] for reply in self.gather()]
+
+    def worker_stats(self) -> List[Optional[Dict[str, object]]]:
+        """Per-worker compiled-runtime stats (``None`` rows for eager workers)."""
+        self.broadcast({"cmd": "stats"})
+        return [reply["runtime"] for reply in self.gather()]
+
+    def utilization(self) -> List[float]:
+        """Busy-fraction per worker since the pool started (for the obs gauges)."""
+        wall = max(time.perf_counter() - self.started_at, 1e-9)
+        return [busy / wall for busy in self.busy_seconds]
+
+    @property
+    def segment_names(self) -> Tuple[str, str]:
+        return (self.weights.name, self.grads.name)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _crash(self, rank: int, message: str,
+               remote_traceback: Optional[str] = None) -> None:
+        self.close(graceful=False)
+        raise WorkerCrashError(rank, message, remote_traceback)
+
+    def close(self, graceful: bool = True, timeout: float = 5.0) -> None:
+        """Stop every worker and unlink both shared-memory segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if graceful:
+            for conn in self._conns:
+                try:
+                    conn.send({"cmd": "shutdown"})
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.weights.unlink()
+        self.grads.unlink()
+
+    def kill(self) -> None:
+        """Hard-stop (terminate without handshake) — the simulated-crash path."""
+        self.close(graceful=False)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close(graceful=False, timeout=0.5)
+        except Exception:  # noqa: BLE001
+            pass

@@ -34,7 +34,7 @@ from repro.data.datasets import DataLoader, Dataset
 from repro.hardware.accelerator import ExistingAcceleratorModel
 from repro.models.base import SpikingModel
 from repro.models.specs import LayerSpec
-from repro.obs.trace import get_tracer
+from repro.obs.trace import Span, current_span, get_tracer
 from repro.search.cost import measured_params, model_cost
 from repro.search.pareto import ParetoPoint, pareto_front, select_winner
 from repro.search.space import CandidateConfig, LayerChoice
@@ -153,6 +153,12 @@ class Searcher:
         Optional hardware model (e.g.
         :class:`~repro.hardware.accelerator.ExistingAcceleratorModel` or the
         multi-cluster design); enables the ``"energy_pj"`` cost axis.
+    num_workers:
+        With ``num_workers > 1`` candidate evaluations fan out over a
+        :class:`~repro.parallel.pool.WorkerPool` of supernet replicas
+        (validation accuracy is the dominant cost and candidates are
+        independent); strategies submit whole batches through
+        :meth:`evaluate_configs`.  The default ``1`` evaluates in-process.
     """
 
     def __init__(
@@ -164,7 +170,10 @@ class Searcher:
         config: Optional[SearchConfig] = None,
         strategy: Optional[SearchStrategy] = None,
         accelerator: Optional[ExistingAcceleratorModel] = None,
+        num_workers: int = 1,
     ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.supernet = supernet
         self.train_dataset = train_dataset
         self.val_dataset = val_dataset
@@ -204,6 +213,8 @@ class Searcher:
         )
         self.trainer = BPTTTrainer(self.supernet, training,
                                    compile=self.config.compile_supernet)
+        self.num_workers = num_workers
+        self._pool = None
         self._eval_cache: Dict[tuple, ParetoPoint] = {}
         #: upper bound on cached replay plans during compiled warm-up
         self._plan_cache_limit = 32
@@ -284,6 +295,81 @@ class Searcher:
             self._eval_cache[key] = point
             return point
 
+    def evaluate_configs(self, configs: Sequence[Sequence[LayerChoice]]) -> List[ParetoPoint]:
+        """Score a batch of candidates, fanning out over the worker pool.
+
+        Order-preserving and cache-coherent with :meth:`evaluate_config`:
+        already-scored candidates (and duplicates within the batch) are
+        served from the cache; only genuinely new configurations reach the
+        workers.  With ``num_workers == 1`` this degrades to the sequential
+        path, so strategies can call it unconditionally.
+        """
+        configs = [self.space.validate_config(c) for c in configs]
+        if self.num_workers == 1:
+            return [self.evaluate_config(c) for c in configs]
+        keys = [self.space.encode(c) for c in configs]
+        fresh: Dict[tuple, Sequence[LayerChoice]] = {}
+        for key, config in zip(keys, configs):
+            if key not in self._eval_cache:
+                fresh.setdefault(key, config)
+        if fresh:
+            pool = self._ensure_pool()
+            pool.sync_weights()
+            order = list(fresh.items())
+            replies = pool.map([
+                {"cmd": "eval_config", "config": config,
+                 "batch_size": self.config.eval_batch_size,
+                 "timesteps": self.timesteps}
+                for _, config in order
+            ])
+            tracer = get_tracer()
+            parent = current_span() if tracer.enabled else None
+            for (key, config), reply in zip(order, replies):
+                cost = model_cost(
+                    config, self.specs, timesteps=self.timesteps,
+                    half_timesteps=self.half_timesteps, accelerator=self.accelerator,
+                )
+                point = ParetoPoint(config=config, accuracy=reply["accuracy"],
+                                    cost=cost)
+                self._eval_cache[key] = point
+                if tracer.enabled:
+                    span = Span("search.candidate", parent=parent,
+                                attrs={"config": str(key), "cached": False,
+                                       "parallel": True,
+                                       "accuracy": point.accuracy},
+                                start_perf=reply["t_start"])
+                    tracer.finish_span(span, end_perf=reply["t_end"])
+        return [self._eval_cache[key] for key in keys]
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _ensure_pool(self):
+        """Lazily spawn the evaluation pool (supernet replicas, fork-shared)."""
+        if self._pool is not None and not self._pool.closed:
+            return self._pool
+        from repro.parallel.pool import WorkerPool
+
+        self._pool = WorkerPool(
+            self.supernet, self.num_workers,
+            timesteps=self.timesteps,
+            val_dataset=self.val_dataset,
+            effective_batch=self.config.eval_batch_size,
+            seed=self.config.seed,
+        )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the evaluation pool down (idempotent; no-op when sequential)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "Searcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def finetune(self, model: SpikingModel) -> List[EpochResult]:
         """Fine-tune a materialised winner on the training set."""
         if self.config.finetune_epochs < 1:
@@ -303,7 +389,12 @@ class Searcher:
     def run(self) -> SearchResult:
         """Full pipeline; see the module docstring for the stages."""
         warmup_history = self.warmup()
-        evaluated = self.strategy.search(self)
+        try:
+            evaluated = self.strategy.search(self)
+        finally:
+            # The pool replicates warm-up weights lazily per batch; keeping
+            # it alive past exploration would only pin memory.
+            self.close()
         if not evaluated:
             raise RuntimeError(f"strategy '{self.strategy.name}' evaluated no candidates")
         front = pareto_front(evaluated, metric=self.config.cost_metric)

@@ -50,16 +50,16 @@ class RandomSearch(SearchStrategy):
         self.num_samples = num_samples
 
     def search(self, searcher) -> List[ParetoPoint]:
-        seen: Dict[tuple, ParetoPoint] = {}
+        # Draw the distinct sample set first, then submit it as one batch so
+        # a parallel searcher can fan the evaluations out; the draw order is
+        # identical to evaluating one-by-one, so results match sequential.
+        seen: Dict[tuple, CandidateConfig] = {}
         attempts = 0
         while len(seen) < self.num_samples and attempts < self.num_samples * 10:
             attempts += 1
             config = searcher.space.random_config(searcher.rng)
-            key = searcher.space.encode(config)
-            if key in seen:
-                continue
-            seen[key] = searcher.evaluate_config(config)
-        return list(seen.values())
+            seen.setdefault(searcher.space.encode(config), config)
+        return searcher.evaluate_configs(list(seen.values()))
 
 
 class EvolutionarySearch(SearchStrategy):
@@ -94,18 +94,21 @@ class EvolutionarySearch(SearchStrategy):
         space, rng = searcher.space, searcher.rng
         evaluated: Dict[tuple, ParetoPoint] = {}
 
-        def evaluate(config: CandidateConfig) -> ParetoPoint:
-            key = space.encode(config)
-            if key not in evaluated:
-                evaluated[key] = searcher.evaluate_config(config)
-            return evaluated[key]
+        def evaluate_generation(configs: List[CandidateConfig]) -> List[ParetoPoint]:
+            # One batch per generation: within a generation candidates are
+            # independent (selection only happens between generations), so
+            # this is the natural parallel fan-out unit.
+            points = searcher.evaluate_configs(configs)
+            for config, point in zip(configs, points):
+                evaluated[space.encode(config)] = point
+            return points
 
         def fitness(point: ParetoPoint):
             return (-point.accuracy, point.cost.scalar(searcher.cost_metric))
 
         population = [space.random_config(rng) for _ in range(self.population_size)]
         for _ in range(self.generations):
-            ranked = sorted((evaluate(config) for config in population), key=fitness)
+            ranked = sorted(evaluate_generation(population), key=fitness)
             parents = [point.config for point in ranked[:self.parents]]
             children: List[CandidateConfig] = list(parents[:self.elite])
             while len(children) < self.population_size:
@@ -115,8 +118,7 @@ class EvolutionarySearch(SearchStrategy):
                                      prob=self.mutation_prob)
                 children.append(child)
             population = children
-        for config in population:
-            evaluate(config)
+        evaluate_generation(population)
         return list(evaluated.values())
 
 
@@ -204,4 +206,4 @@ class GumbelSoftmaxSearch(SearchStrategy):
                 for alpha, choices in zip(self.alphas_, layer_choices)
             )
             proposals.setdefault(searcher.space.encode(sampled), sampled)
-        return [searcher.evaluate_config(config) for config in proposals.values()]
+        return searcher.evaluate_configs(list(proposals.values()))

@@ -1,0 +1,106 @@
+"""Elastic checkpoint/resume for training runs.
+
+One pickle file bundles everything a resumed run needs to continue the
+*exact* loss curve of the original: model ``state_dict`` (parameters and
+buffers, so BN running statistics survive), optimizer state (SGD velocity
+/ Adam moments and step counter), scheduler position, the legacy NumPy
+global RNG state (stochastic layers/augments draw from it), and a data
+cursor ``(epoch, batch)`` marking how far the shuffled stream was
+consumed.  Data order itself needs no serialised RNG: loaders re-derive
+the epoch's permutation from ``DataLoader.set_epoch`` (seed + epoch), so a
+cursor is all it takes to fast-forward — which is also what makes resume
+*elastic*: a checkpoint written by a 4-worker run restores into 1- or
+2-worker trainers, because worker replicas hold no optimisation state of
+their own.
+
+The format is intentionally plain (a dict, protocol-default pickle): no
+custom classes beyond NumPy arrays, so checkpoints stay loadable as the
+trainer implementations evolve.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["save_training_state", "load_training_state", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+def save_training_state(
+    path: str,
+    model,
+    optimizer=None,
+    scheduler=None,
+    cursor: Optional[Dict[str, int]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Write a resumable snapshot to ``path`` (atomically) and return the path.
+
+    ``cursor`` is free-form but conventionally ``{"epoch": e, "batch": b}``:
+    the next step the run *would have* executed.  ``extra`` lands in the
+    checkpoint verbatim (trainer configuration, histories, shard counts).
+    """
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "model": model.state_dict(),
+        "optimizer": optimizer.state_dict() if optimizer is not None else None,
+        "scheduler": scheduler.state_dict() if scheduler is not None else None,
+        "numpy_random": np.random.get_state(),
+        "cursor": dict(cursor or {}),
+        "extra": dict(extra or {}),
+    }
+    # Write-then-rename so a crash mid-save never truncates the previous
+    # checkpoint — the whole point of checkpointing is surviving kills.
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(state, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_training_state(
+    path: str,
+    model=None,
+    optimizer=None,
+    scheduler=None,
+    restore_numpy_random: bool = True,
+) -> Dict[str, object]:
+    """Restore a snapshot written by :func:`save_training_state`.
+
+    Every target is optional: pass only the objects being resumed (a
+    serving process might restore just the model).  Returns the raw
+    checkpoint dict so callers can read ``cursor`` / ``extra``.
+    """
+    with open(path, "rb") as handle:
+        state = pickle.load(handle)
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version!r} "
+                         f"(expected {CHECKPOINT_VERSION})")
+    if model is not None:
+        model.load_state_dict(state["model"])
+    if optimizer is not None:
+        if state["optimizer"] is None:
+            raise ValueError("checkpoint holds no optimizer state")
+        optimizer.load_state_dict(state["optimizer"])
+    if scheduler is not None:
+        if state["scheduler"] is None:
+            raise ValueError("checkpoint holds no scheduler state")
+        scheduler.load_state_dict(state["scheduler"])
+    if restore_numpy_random and state.get("numpy_random") is not None:
+        np.random.set_state(state["numpy_random"])
+    return state

@@ -85,6 +85,89 @@ class TestAdam:
         with pytest.raises(ValueError):
             Adam([Parameter(np.ones(1))], lr=0.0)
 
+    def test_state_dict_round_trip_continues_identically(self):
+        """Resumed Adam must replay the exact trajectory (moments AND step)."""
+        def advance(opt, w, steps):
+            trace = []
+            for _ in range(steps):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+                trace.append(w.data.copy())
+            return trace
+
+        w = Parameter(np.zeros(3, dtype=np.float32))
+        opt = Adam([w], lr=0.05, weight_decay=0.01)
+        advance(opt, w, 5)
+        saved = opt.state_dict()
+        snapshot = w.data.copy()
+        reference = advance(opt, w, 5)
+
+        w2 = Parameter(snapshot.copy())
+        opt2 = Adam([w2], lr=0.9)  # wrong hyper-params, fixed by the load
+        opt2.load_state_dict(saved)
+        assert opt2.lr == 0.05 and opt2._step == 5
+        resumed = advance(opt2, w2, 5)
+        for a, b in zip(reference, resumed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_state_dict_copies_are_independent(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        opt = Adam([w], lr=0.05)
+        opt.zero_grad()
+        quadratic_loss(w).backward()
+        opt.step()
+        state = opt.state_dict()
+        opt.step()
+        # The snapshot must not alias the live moment buffers.
+        assert not np.array_equal(state["m"][0], opt._m[0])
+
+    def test_load_rejects_mismatched_buffers(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        opt = Adam([w], lr=0.05)
+        state = opt.state_dict()
+        state["m"] = []
+        with pytest.raises(ValueError):
+            Adam([w], lr=0.05).load_state_dict(state)
+
+
+class TestSGDResume:
+    def test_resumed_sgd_trajectory_is_bitwise(self):
+        def advance(opt, w, steps):
+            trace = []
+            for _ in range(steps):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+                trace.append(w.data.copy())
+            return trace
+
+        w = Parameter(np.zeros(3, dtype=np.float32))
+        opt = SGD([w], lr=0.01, momentum=0.9, weight_decay=1e-4)
+        advance(opt, w, 4)
+        saved = opt.state_dict()
+        snapshot = w.data.copy()
+        reference = advance(opt, w, 4)
+
+        w2 = Parameter(snapshot.copy())
+        opt2 = SGD([w2], lr=0.5)
+        opt2.load_state_dict(saved)
+        resumed = advance(opt2, w2, 4)
+        for a, b in zip(reference, resumed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_velocity_load_casts_to_param_dtype(self):
+        w = Parameter(np.zeros(2, dtype=np.float32))
+        opt = SGD([w], lr=0.1, momentum=0.9)
+        opt.zero_grad()
+        quadratic_loss(w).backward()
+        opt.step()
+        state = opt.state_dict()
+        state["velocity"] = [v.astype(np.float64) for v in state["velocity"]]
+        opt2 = SGD([Parameter(np.zeros(2, dtype=np.float32))], lr=0.1)
+        opt2.load_state_dict(state)
+        assert opt2._velocity[0].dtype == np.float32
+
 
 class TestSchedulers:
     def test_cosine_annealing_endpoints(self):
@@ -205,6 +288,22 @@ class TestSchedulerWarmupAndRestore:
         resumed = CosineAnnealingLR(opt2, t_max=10, warmup_epochs=3)
         resumed.load_state_dict(sched.state_dict())
         assert opt2.lr == pytest.approx(expected_lr)
+
+    def test_state_dict_carries_shape_hyper_parameters(self):
+        # A checkpointed schedule must survive a restoring trainer whose
+        # config would build a different scheduler (changed horizon/warm-up).
+        opt, sched = self._sched(lr=0.1, t_max=10, warmup=3, start=0.2)
+        for _ in range(4):
+            sched.step()
+        saved = sched.state_dict()
+        reference = [sched.step() for _ in range(6)]
+
+        opt2 = SGD([Parameter(np.ones(1))], lr=0.1)
+        resumed = CosineAnnealingLR(opt2, t_max=50)  # wrong shape, fixed by load
+        resumed.load_state_dict(saved)
+        assert resumed.t_max == 10 and resumed.warmup_epochs == 3
+        assert resumed.warmup_start_factor == pytest.approx(0.2)
+        assert [resumed.step() for _ in range(6)] == pytest.approx(reference)
 
     def test_state_dict_roundtrip_for_step_lr(self):
         opt = SGD([Parameter(np.ones(1))], lr=1.0)

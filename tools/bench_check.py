@@ -28,6 +28,12 @@ Typical use::
     python tools/bench_check.py --baseline benchmarks/BENCH_baseline.json \
         --ratios-only
 
+    # gate several fresh sinks at once (``--fresh`` is repeatable; the
+    # flattened metric maps are merged before comparison)
+    python tools/bench_check.py --baseline benchmarks/BENCH_baseline.json \
+        --fresh benchmarks/BENCH_runtime.json \
+        --fresh benchmarks/BENCH_parallel.json --ratios-only
+
 Metrics present in only one file are reported but never fail the gate
 (benchmarks are allowed to grow / be renamed).
 """
@@ -108,9 +114,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
                         help="trusted BENCH_runtime.json to compare against")
-    parser.add_argument("--fresh", default=os.path.normpath(_DEFAULT_FRESH),
-                        help="freshly generated BENCH_runtime.json "
-                             "(default: benchmarks/BENCH_runtime.json)")
+    parser.add_argument("--fresh", action="append", default=None,
+                        help="freshly generated BENCH_*.json; repeatable, the "
+                             "flattened metric maps are merged (default: "
+                             "benchmarks/BENCH_runtime.json)")
     parser.add_argument("--threshold", type=float, default=0.2,
                         help="fractional regression allowed per metric "
                              "(default 0.2 = 20%%)")
@@ -123,8 +130,10 @@ def main(argv=None) -> int:
 
     with open(args.baseline) as handle:
         baseline = dict(flatten(json.load(handle)))
-    with open(args.fresh) as handle:
-        fresh = dict(flatten(json.load(handle)))
+    fresh: Dict[str, float] = {}
+    for fresh_path in args.fresh or [os.path.normpath(_DEFAULT_FRESH)]:
+        with open(fresh_path) as handle:
+            fresh.update(flatten(json.load(handle)))
 
     regressions, notes = compare(baseline, fresh, args.threshold, args.ratios_only)
     mode = "ratios only" if args.ratios_only else "ratios + wall-clock"
