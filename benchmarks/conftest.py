@@ -35,6 +35,10 @@ BENCH_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 BENCH_PARALLEL_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                    "BENCH_parallel.json")
 
+#: machine-readable sink for the multi-replica serving-fleet benchmark numbers
+BENCH_FLEET_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "BENCH_fleet.json")
+
 
 def record_bench(section: str, payload: dict, path: str = None) -> str:
     """Merge one benchmark's numbers into a ``BENCH_*.json`` sink.

@@ -1,0 +1,66 @@
+"""``repro.fleet`` — multi-replica serving fleet for merged SNN snapshots.
+
+Design note
+-----------
+The single-process serving stack (:mod:`repro.serve`) scales a model by
+batching: one engine, one lock, throughput bounded by one fused forward at
+a time.  This package scales it by *replication* — the same production
+pattern the paper's deployment story implies once a merged (Eq. 6) snapshot
+serves real traffic:
+
+* :mod:`~repro.fleet.replica` — N identical engine snapshots, each behind
+  its own micro-batcher; thread-backed by default (NumPy releases the GIL
+  in its GEMMs) or fork-backed (reusing the ``repro.parallel`` pipe and
+  crash-detection idioms), supervised with capped-backoff automatic
+  restart;
+* :mod:`~repro.fleet.admission` — bounded priority queues in front of every
+  model: typed :class:`~repro.fleet.errors.Overloaded` backpressure with a
+  ``retry_after_s`` hint, and per-request deadlines enforced before a stale
+  request can occupy a batch slot
+  (:class:`~repro.fleet.errors.DeadlineExceeded`);
+* :class:`~repro.fleet.server.FleetServer` — the load-aware router:
+  least-outstanding-requests replica choice with queue-depth tiebreak, one
+  automatic reroute when a replica crashes mid-request, and atomic
+  pointer-swap deploys;
+* :mod:`~repro.fleet.rollout` — measured hot-swaps under live traffic:
+  canary splits with an auto-promote / auto-rollback gate on error rate and
+  p99, and shadow mirroring that compares candidate logits without ever
+  answering from the candidate;
+* :mod:`~repro.fleet.sessions` — streaming stateful sessions over the
+  persistent-membrane runtime (:mod:`repro.runtime.streaming`): chunked
+  event streams whose time-averaged logits match the one-shot fixed-``T``
+  forward to 1e-6, with replica affinity, crash re-pinning and idle
+  eviction.
+
+Everything is instrumented through :mod:`repro.obs`: ``serve.request`` /
+``fleet.route`` / ``fleet.canary`` span trees, per-replica utilization and
+outstanding-request gauges, queue-depth gauges and shed counters.  See the
+README "Serving fleet" section and ``examples/fleet_quickstart.py``.
+"""
+
+from repro.fleet.admission import AdmissionQueue, FleetRequest
+from repro.fleet.errors import (DeadlineExceeded, FleetError, Overloaded,
+                                ReplicaCrashed, SessionClosed)
+from repro.fleet.replica import (REPLICA_KINDS, ProcessReplica, Replica,
+                                 ThreadReplica)
+from repro.fleet.rollout import CanaryRollout, ShadowRollout
+from repro.fleet.server import FleetServer
+from repro.fleet.sessions import StreamingSession
+
+__all__ = [
+    "AdmissionQueue",
+    "FleetRequest",
+    "FleetError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ReplicaCrashed",
+    "SessionClosed",
+    "REPLICA_KINDS",
+    "Replica",
+    "ThreadReplica",
+    "ProcessReplica",
+    "CanaryRollout",
+    "ShadowRollout",
+    "FleetServer",
+    "StreamingSession",
+]

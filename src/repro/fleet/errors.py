@@ -1,0 +1,73 @@
+"""Typed errors of the serving fleet.
+
+Everything a fleet can do to a request that is *not* answering it is
+expressed as one of these types, so clients can branch on ``except`` clauses
+instead of parsing message strings: back off and retry
+(:class:`Overloaded`), give up on a stale request (:class:`DeadlineExceeded`),
+resubmit elsewhere (:class:`ReplicaCrashed`), or reopen a stream
+(:class:`SessionClosed`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "FleetError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "ReplicaCrashed",
+    "SessionClosed",
+]
+
+
+class FleetError(RuntimeError):
+    """Base class of every fleet-originated failure."""
+
+
+class Overloaded(FleetError):
+    """Admission control rejected the request: the model's queue is full.
+
+    ``retry_after_s`` is the router's estimate of when capacity frees up
+    (queue depth over recent service rate) — the standard backpressure hint
+    a client maps to ``Retry-After``.  Shedding at admission keeps the queue
+    bounded, which is what keeps p99 for *admitted* requests bounded during
+    a burst instead of letting every request time out in line.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.1):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceeded(FleetError):
+    """The request's deadline passed before a replica could run it.
+
+    Raised at admission (deadline already in the past) or at dispatch time —
+    an expired request is dropped *before* it occupies a batch slot, so a
+    burst of stale work cannot starve fresh requests.
+    """
+
+
+class ReplicaCrashed(FleetError):
+    """The replica serving this request died mid-flight.
+
+    The router marks the replica dead (its supervisor restarts it with a
+    capped exponential backoff) and re-routes the request once to a healthy
+    sibling; this error only reaches the caller when no sibling could take
+    the request in time.  ``remote_traceback`` carries the worker-side
+    traceback when the process managed to report one.
+    """
+
+    def __init__(self, message: str, replica: Optional[str] = None,
+                 remote_traceback: Optional[str] = None):
+        detail = message if replica is None else f"replica {replica}: {message}"
+        if remote_traceback:
+            detail += f"\n--- replica traceback ---\n{remote_traceback}"
+        super().__init__(detail)
+        self.replica = replica
+        self.remote_traceback = remote_traceback
+
+
+class SessionClosed(FleetError):
+    """The streaming session was closed (explicitly or by idle eviction)."""

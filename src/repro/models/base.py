@@ -127,6 +127,45 @@ class SpikingModel(Module):
             outputs.append(self.forward(frame))
         return outputs
 
+    def stream_timesteps(
+        self,
+        inputs: Union[np.ndarray, Tensor],
+        step_mode: Optional[str] = None,
+    ) -> List[Tensor]:
+        """Run one *chunk* of an ongoing stream WITHOUT resetting state.
+
+        The streaming counterpart of :meth:`run_timesteps`: membrane
+        potentials and temporal counters carry over from the previous call,
+        and the simulation runs for exactly the chunk's length (the leading
+        axis) instead of the model's configured ``timesteps``.  Feeding a
+        ``T``-step sequence in consecutive chunks therefore reproduces the
+        per-timestep logits of one ``run_timesteps`` call over the whole
+        sequence — the LIF recurrence is chunk-oblivious because each fused
+        node seeds itself from the carried membrane
+        (:meth:`repro.snn.neurons.LIFNeuron.forward_sequence`).  Call
+        :meth:`reset` (or :meth:`run_timesteps`, which resets) to start a
+        new stream.
+        """
+        mode = step_mode if step_mode is not None else self.step_mode
+        if mode not in STEP_MODES:
+            raise ValueError(f"step_mode must be one of {STEP_MODES}, got {mode!r}")
+        tensor_in = inputs if isinstance(inputs, Tensor) else None
+        data = tensor_in.data if tensor_in is not None else np.asarray(inputs, dtype=np.float32)
+        if data.ndim != 5:
+            raise ValueError(f"expected (T, N, C, H, W) chunk, got shape {data.shape}")
+        if data.shape[0] < 1:
+            raise ValueError("streaming chunk must provide at least one timestep")
+        chunk_steps = data.shape[0]
+        if mode == "fused":
+            sequence = tensor_in if tensor_in is not None else as_tensor(data)
+            logits_seq = self.forward_sequence(sequence)
+            return [logits_seq[t] for t in range(chunk_steps)]
+        outputs: List[Tensor] = []
+        for t in range(chunk_steps):
+            frame = tensor_in[t] if tensor_in is not None else as_tensor(data[t])
+            outputs.append(self.forward(frame))
+        return outputs
+
     def predict(self, inputs: Union[np.ndarray, Tensor],
                 step_mode: Optional[str] = None) -> np.ndarray:
         """Class predictions from time-averaged logits (no gradient tracking).

@@ -60,6 +60,7 @@ from repro.runtime.ops import OPS, OpDef, get_op, register_op
 from repro.runtime.optimizer import OPT_LEVELS, OptimizerReport, optimize_capture
 from repro.runtime.planner import ExecutionPlan, PlanSignatureError, compile_plan
 from repro.runtime.replay import CompiledForward, CompiledTrainStep
+from repro.runtime.streaming import StreamingForward, TemporalState
 
 __all__ = [
     "Backend",
@@ -88,4 +89,6 @@ __all__ = [
     "compile_plan",
     "CompiledForward",
     "CompiledTrainStep",
+    "StreamingForward",
+    "TemporalState",
 ]

@@ -48,7 +48,7 @@ Quickstart (mirrors ``examples/serve_quickstart.py``)::
     server.close()
 """
 
-from repro.serve.batcher import MicroBatcher
+from repro.serve.batcher import BatcherClosed, MicroBatcher
 from repro.serve.cache import ResponseCache, input_digest
 from repro.serve.engine import InferenceEngine
 from repro.serve.registry import ModelRegistry
@@ -57,6 +57,7 @@ from repro.serve.stats import ServerStats
 
 __all__ = [
     "InferenceEngine",
+    "BatcherClosed",
     "MicroBatcher",
     "ModelRegistry",
     "ResponseCache",

@@ -38,10 +38,21 @@ from repro.obs.trace import get_tracer
 from repro.serve.engine import InferenceEngine
 from repro.serve.stats import ServerStats
 
-__all__ = ["MicroBatcher"]
+__all__ = ["MicroBatcher", "BatcherClosed"]
 
 #: Queue sentinel asking a worker thread to exit.
 _SHUTDOWN = object()
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher shut down before this queued request could be served.
+
+    Raised from ``future.result()`` for requests that were accepted into the
+    queue but never reached a worker — :meth:`MicroBatcher.close` resolves
+    every still-queued future with this error (or a plain cancellation when
+    the future can still be cancelled), so no caller blocks forever across a
+    shutdown.
+    """
 
 
 class MicroBatcher:
@@ -67,6 +78,16 @@ class MicroBatcher:
     name:
         Served-model name carried as the ``model`` attribute on request /
         batch trace spans.
+    span_name:
+        Name of the per-request trace span (default ``"serve.request"``).
+        The fleet router names its replica-level batchers
+        ``"replica.request"`` so their spans read as children of the
+        router's ``serve.request`` root rather than as second roots.
+    nest_spans:
+        When ``True``, the request span parents itself on the submitting
+        thread's *current* span (the router activates its ``fleet.route``
+        span around :meth:`submit`).  Default ``False`` keeps the span a
+        trace root, which is what a standalone batcher wants.
     """
 
     def __init__(
@@ -77,6 +98,8 @@ class MicroBatcher:
         num_workers: int = 1,
         stats: Optional[ServerStats] = None,
         name: Optional[str] = None,
+        span_name: str = "serve.request",
+        nest_spans: bool = False,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -91,6 +114,8 @@ class MicroBatcher:
         self.max_wait_s = max_wait_ms / 1000.0
         self.stats = stats
         self.name = name
+        self.span_name = span_name
+        self.nest_spans = bool(nest_spans)
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -116,7 +141,8 @@ class MicroBatcher:
             # it travels through the queue by reference and is finished by
             # the worker that answers it.
             attrs = {"model": self.name} if self.name is not None else None
-            root = tracer.start_span("serve.request", attrs=attrs)
+            root = tracer.start_span(self.span_name, attrs=attrs,
+                                     use_current_parent=self.nest_spans)
             qspan = tracer.start_span("serve.queue_wait", parent=root)
             spans = (root, qspan)
         with self._close_lock:
@@ -250,16 +276,67 @@ class MicroBatcher:
 
     # -- lifecycle ----------------------------------------------------------------
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
-        """Drain outstanding requests, stop the workers, reject new submissions."""
+    def close(self, timeout: Optional[float] = 10.0, drain: bool = True) -> None:
+        """Stop the workers and deterministically resolve every queued future.
+
+        With ``drain=True`` (default) the workers finish all already-queued
+        requests before exiting; with ``drain=False`` queued requests are
+        resolved immediately (cancelled, or failed with
+        :class:`BatcherClosed` if cancellation is no longer possible) without
+        running the engine.  In *either* mode, anything still queued after
+        the workers have been joined — a worker wedged inside ``infer_fn``
+        past ``timeout``, or one that died — is resolved the same way, so no
+        caller blocked in ``future.result()`` can hang across shutdown.
+        Requests already handed to a worker resolve through the normal batch
+        path.  New submissions fail fast once ``close`` has begun.
+        """
         with self._close_lock:
             if self._closed:
                 return
             self._closed = True
+        if not drain:
+            self._resolve_queued()
         for _ in self._workers:
             self._queue.put(_SHUTDOWN)
         for worker in self._workers:
             worker.join(timeout=timeout)
+        self._resolve_queued()
+
+    def _resolve_queued(self) -> None:
+        """Pop every queued request and resolve its future (cancel or fail).
+
+        Shutdown sentinels are re-queued so a worker that un-wedges later
+        still finds its exit signal instead of blocking on an empty queue.
+        """
+        items: list = []
+        sentinels = 0
+        while True:
+            try:
+                entry = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if entry is _SHUTDOWN:
+                sentinels += 1
+            else:
+                items.append(entry)
+        for _ in range(sentinels):
+            self._queue.put(_SHUTDOWN)
+        tracer = get_tracer()
+        for _, future, _, spans in items:
+            if not future.cancel() and not future.done():
+                # set_running_or_notify_cancel was never called on a queued
+                # future, so cancel() only fails in a benign race with a
+                # worker that just picked the request up; failing it here
+                # would double-resolve, hence the done() re-check.
+                try:
+                    future.set_exception(BatcherClosed(
+                        "MicroBatcher closed before this request was served"))
+                except Exception:  # pragma: no cover - future already resolved
+                    pass
+            if spans is not None:
+                spans[0].status = "cancelled"
+                tracer.finish_span(spans[1])
+                tracer.finish_span(spans[0])
 
     def __enter__(self) -> "MicroBatcher":
         return self

@@ -13,9 +13,11 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
+
+from repro.obs.metrics import Counter, MetricsRegistry, default_registry
 
 __all__ = ["input_digest", "ResponseCache"]
 
@@ -35,26 +37,46 @@ class ResponseCache:
 
     Stored values are copied on the way in and out so cached responses can
     never be mutated by callers sharing the array.
+
+    When constructed with a ``name``, the hit / miss / eviction counters are
+    registered in the :mod:`repro.obs` metrics registry (labelled
+    ``{model: name}``), so cache effectiveness reaches the Prometheus
+    exposition instead of living only on this object — the plain integer
+    attributes (``hits`` / ``misses`` / ``evictions``) and ``hit_rate``
+    remain available either way and always agree with the instruments.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, name: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, np.ndarray]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        labels: Optional[Dict[str, str]] = {"model": name} if name is not None else None
+        self._m_hits = Counter("repro_serve_response_cache_hits_total",
+                               "Response-cache lookups answered from cache",
+                               labels=labels)
+        self._m_misses = Counter("repro_serve_response_cache_misses_total",
+                                 "Response-cache lookups that missed", labels=labels)
+        self._m_evictions = Counter("repro_serve_response_cache_evictions_total",
+                                    "Entries evicted by the LRU policy", labels=labels)
+        self._registry: Optional[MetricsRegistry] = None
+        if name is not None:
+            self._registry = registry if registry is not None else default_registry()
+            for instrument in (self._m_hits, self._m_misses, self._m_evictions):
+                self._registry.register(instrument, replace=True)
 
     def get(self, key: str) -> Optional[np.ndarray]:
         """Return the cached response for ``key`` (marking it most-recent), or ``None``."""
         with self._lock:
             value = self._entries.get(key)
             if value is None:
-                self.misses += 1
+                self._m_misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._m_hits.inc()
             return value.copy()
 
     def put(self, key: str, value: np.ndarray) -> None:
@@ -65,6 +87,7 @@ class ResponseCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self._m_evictions.inc()
 
     def lookup(self, sample: np.ndarray) -> "tuple[str, Optional[np.ndarray]]":
         """Digest a sample and fetch its cached response in one call."""
@@ -76,6 +99,19 @@ class ResponseCache:
         with self._lock:
             self._entries.clear()
 
+    def deregister_metrics(self) -> None:
+        """Remove this cache's instruments from the metrics registry.
+
+        Called when the served model is torn down
+        (:meth:`repro.serve.server.InferenceServer.unregister`) so a dead
+        model's counters stop appearing in the Prometheus exposition.
+        """
+        if self._registry is None:
+            return
+        for instrument in (self._m_hits, self._m_misses, self._m_evictions):
+            if self._registry.get(instrument.name, instrument.labels) is instrument:
+                self._registry.unregister(instrument.name, instrument.labels)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -83,6 +119,21 @@ class ResponseCache:
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._entries
+
+    @property
+    def hits(self) -> int:
+        """Lifetime lookups answered from cache."""
+        return int(self._m_hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lifetime lookups that missed."""
+        return int(self._m_misses.value)
+
+    @property
+    def evictions(self) -> int:
+        """Lifetime entries evicted by the LRU policy."""
+        return int(self._m_evictions.value)
 
     @property
     def hit_rate(self) -> float:

@@ -143,6 +143,7 @@ class InferenceEngine:
         self._requests_served = 0
         self.compile = bool(compile)
         self._compiled = None
+        self._streaming = None
         self._pad_buffers = {}
         if optimize is None:
             # Baked-parameter folds are only safe on an engine-owned
@@ -232,6 +233,53 @@ class InferenceEngine:
         # after the plan buffers are overwritten by the next replay.
         logits = sum(outputs) / len(outputs)
         return logits[:n] if n_padded != n else logits
+
+    # -- streaming ----------------------------------------------------------------
+
+    def stream_state(self):
+        """Fresh :class:`~repro.runtime.streaming.TemporalState` for a new stream."""
+        return self._streaming_forward().initial_state()
+
+    def infer_stream(self, chunk: Union[np.ndarray, Tensor], state):
+        """Advance a persistent-membrane stream by one chunk of event frames.
+
+        ``chunk`` is ``(T, C, H, W)`` (a single stream — the common session
+        shape) or ``(T, N, C, H, W)``; frames are consumed as-is, *without*
+        direct-coding, because a stream's timesteps genuinely differ.
+        ``state`` is a :class:`~repro.runtime.streaming.TemporalState` from
+        :meth:`stream_state` or a previous ``infer_stream`` call.
+
+        Returns ``(logits_sum, new_state)``: the sum of the chunk's
+        per-timestep logits (``(num_classes,)`` for a single stream,
+        ``(N, num_classes)`` otherwise) and the carried state.  Accumulating
+        the sums and dividing by ``new_state.timesteps_seen`` yields exactly
+        the time-averaged logits the one-shot fixed-``T`` forward computes —
+        chunk boundaries are invisible to the LIF recurrence.
+        """
+        if isinstance(chunk, Tensor):
+            chunk = chunk.data
+        data = np.asarray(chunk, dtype=self.dtype)
+        single = data.ndim == 4
+        if single:
+            data = data[:, None]
+        if data.ndim != 5:
+            raise ValueError(
+                f"expected a (T, C, H, W) or (T, N, C, H, W) chunk, got shape {chunk.shape}"
+            )
+        with get_tracer().span("engine.infer_stream", timesteps=int(data.shape[0])):
+            with self._lock:
+                streaming = self._streaming_forward()
+                logits_sum, new_state = streaming.run_chunk(data, state)
+                self._requests_served += logits_sum.shape[0]
+        return (logits_sum[0] if single else logits_sum), new_state
+
+    def _streaming_forward(self):
+        """Lazily-built persistent-membrane executor over the snapshot model."""
+        if self._streaming is None:
+            from repro.runtime.streaming import StreamingForward
+
+            self._streaming = StreamingForward(self.model)
+        return self._streaming
 
     def runtime_stats(self) -> Optional[dict]:
         """Capture-vs-replay accounting of the compiled path (``None`` if eager)."""

@@ -90,7 +90,7 @@ class InferenceServer:
             self._batchers[name] = batcher
             self._stats[name] = stats
             if self.cache_capacity > 0:
-                self._caches[name] = ResponseCache(self.cache_capacity)
+                self._caches[name] = ResponseCache(self.cache_capacity, name=name)
 
     def register(
         self,
@@ -119,6 +119,34 @@ class InferenceServer:
         """Hot-swap the served model: queued and future requests use the new engine."""
         return self.registry.swap(name, model, version=version,
                                   warmup_sample=warmup_sample, **engine_kwargs)
+
+    def unregister(self, name: str, version: Optional[Version] = None,
+                   timeout: Optional[float] = 10.0) -> None:
+        """Stop serving ``name`` and tear down its server-side plumbing.
+
+        Removes the model from the registry (one ``version``, or the whole
+        name when ``version=None``) — and, when the *last* version goes,
+        also closes the model's :class:`MicroBatcher` (resolving any queued
+        futures, see :meth:`MicroBatcher.close`), drops its response cache
+        and deregisters its stats/cache instruments from the metrics
+        registry.  ``ModelRegistry.unregister`` alone leaves that trio (and
+        the batcher's worker threads) alive, which is a leak for a server
+        that cycles many models.
+        """
+        self.registry.unregister(name, version)
+        if name in self.registry:
+            # Other versions remain published; keep the plumbing serving.
+            return
+        with self._lock:
+            batcher = self._batchers.pop(name, None)
+            cache = self._caches.pop(name, None)
+            stats = self._stats.pop(name, None)
+        if batcher is not None:
+            batcher.close(timeout=timeout)
+        if cache is not None:
+            cache.deregister_metrics()
+        if stats is not None:
+            stats.deregister_metrics()
 
     # -- request path -------------------------------------------------------------
 

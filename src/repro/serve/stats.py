@@ -82,11 +82,12 @@ class ServerStats:
                                "Response-cache hits", labels=labels)
         self._m_misses = Counter("repro_serve_cache_misses_total",
                                  "Response-cache misses", labels=labels)
+        self._registry: Optional[MetricsRegistry] = None
         if name is not None:
-            target = registry if registry is not None else default_registry()
+            self._registry = registry if registry is not None else default_registry()
             for instrument in (self._latency, self._m_requests, self._m_batches,
                                self._m_hits, self._m_misses):
-                target.register(instrument, replace=True)
+                self._registry.register(instrument, replace=True)
         self._lock = threading.Lock()
         self._batch_sizes: Dict[int, int] = {}
         self._batch_seconds = 0.0
@@ -203,6 +204,20 @@ class ServerStats:
             filled = ", ".join(f"{size}x{count}" for size, count in histogram.items())
             lines.append(f"{'batch_fill':<{width}} : {filled}")
         return "\n".join(lines)
+
+    def deregister_metrics(self) -> None:
+        """Remove this collector's instruments from the metrics registry.
+
+        Only instruments still pointing at *this* collector are removed — a
+        newer ``ServerStats`` registered under the same name (the hot-swap
+        repoint) keeps its registration.
+        """
+        if self._registry is None:
+            return
+        for instrument in (self._latency, self._m_requests, self._m_batches,
+                           self._m_hits, self._m_misses):
+            if self._registry.get(instrument.name, instrument.labels) is instrument:
+                self._registry.unregister(instrument.name, instrument.labels)
 
     def reset(self) -> None:
         """Forget everything (e.g. after a model hot-swap)."""

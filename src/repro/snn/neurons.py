@@ -23,7 +23,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd.tensor import Function, Tensor, as_tensor, record_op, ws_buf
+from repro.autograd.tensor import (Function, Tensor, as_tensor, is_grad_enabled,
+                                   record_op, ws_buf)
 from repro.nn.module import StatefulModule
 
 __all__ = [
@@ -384,14 +385,23 @@ class LIFNeuron(StatefulModule):
             initial_membrane=initial,
         )
         ctx = _FusedLIFSequence(**lif_kwargs)
-        out_data = ctx.forward(currents.data)
+        if is_grad_enabled():
+            out_data = ctx.forward(currents.data)
 
-        def backward(grad: np.ndarray) -> None:
-            (grad_input,) = ctx.backward(np.asarray(grad))
-            if currents.requires_grad or currents._prev:
-                currents._accumulate_grad(grad_input)
+            def backward(grad: np.ndarray) -> None:
+                (grad_input,) = ctx.backward(np.asarray(grad))
+                if currents.requires_grad or currents._prev:
+                    currents._accumulate_grad(grad_input)
 
-        spikes = Tensor._make(out_data, (currents,), backward)
+            spikes = Tensor._make(out_data, (currents,), backward)
+        else:
+            # Inference (no_grad) runs the rolling-membrane kernel: bitwise
+            # the same spikes, but only one frame of membrane state instead
+            # of the full (T, ...) history — the streaming/serving hot path.
+            # Compiled-forward captures happen under no_grad too; the
+            # recorded node replays through the same forward_inference.
+            out_data = ctx.forward_inference(currents.data)
+            spikes = Tensor(out_data)
         # Same record shape as Function.apply: a replay re-instantiates a
         # fresh context with these kwargs and re-runs the fused recurrence.
         record_op("fn", (currents,), spikes,

@@ -134,6 +134,22 @@ class TEBatchNorm2d(Module):
         """Rewind the internal timestep counter (new input sequence)."""
         self._t = 0
 
+    @property
+    def time_index(self) -> int:
+        """The timestep the next ``forward`` call will consume.
+
+        Exposed so streaming execution
+        (:class:`repro.runtime.streaming.StreamingForward`) can snapshot and
+        restore the temporal position between chunks of one input sequence.
+        """
+        return self._t
+
+    @time_index.setter
+    def time_index(self, t: int) -> None:
+        if t < 0:
+            raise ValueError(f"time_index must be >= 0, got {t}")
+        self._t = int(t)
+
     def forward(self, x: Tensor) -> Tensor:
         scale = self.temporal_weight[min(self._t, self.timesteps - 1)]
         self._t += 1

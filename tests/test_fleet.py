@@ -1,0 +1,532 @@
+"""Tests for the ``repro.fleet`` multi-replica serving fleet.
+
+Covers the full subsystem:
+
+* :class:`AdmissionQueue` — priority ordering, bounded capacity with typed
+  ``Overloaded`` backpressure, crash-reroute requeue;
+* :class:`CanaryRollout` / :class:`ShadowRollout` — deterministic credit
+  split and the promote/rollback gate, pure-unit and end-to-end;
+* :class:`FleetServer` — burst correctness vs a direct engine, deadline and
+  overload shedding with typed errors, crash rerouting plus supervised
+  restart (thread and fork replicas), rollout under live traffic;
+* :class:`StreamingSession` — chunked persistent-membrane inference equal
+  to the one-shot fixed-``T`` forward, replica affinity, crash re-pinning
+  and idle eviction;
+* observability — span trees and the fleet's metrics-registry exports.
+
+Tag models (all weights zero, classifier bias set to a known constant) make
+logits *exactly* the bias vector, so version-identity assertions are exact
+rather than statistical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    AdmissionQueue,
+    CanaryRollout,
+    DeadlineExceeded,
+    FleetError,
+    FleetRequest,
+    FleetServer,
+    Overloaded,
+    ReplicaCrashed,
+    SessionClosed,
+    ShadowRollout,
+)
+from repro.models.vgg import spiking_vgg9
+from repro.obs.metrics import default_registry
+from repro.obs.trace import get_tracer
+from repro.serve.batcher import BatcherClosed
+from repro.serve.engine import InferenceEngine
+
+TIMESTEPS = 2
+SAMPLE_SHAPE = (3, 10, 10)
+NUM_CLASSES = 4
+
+_FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(autouse=True)
+def _quiet_tracer():
+    """Leave the process-wide tracer exactly as we found it (disabled)."""
+    tracer = get_tracer()
+    yield
+    tracer.enabled = False
+    tracer.set_exporters(())
+    tracer.flight = None
+
+
+def _tiny_model(seed: int = 0, timesteps: int = TIMESTEPS):
+    return spiking_vgg9(num_classes=NUM_CLASSES, in_channels=3,
+                        timesteps=timesteps, width_scale=0.08,
+                        rng=np.random.default_rng(seed))
+
+
+def _tag_model(tag: float, timesteps: int = TIMESTEPS):
+    """All-zero weights + constant classifier bias: logits are exactly [tag]*C."""
+    model = _tiny_model(0, timesteps)
+    for param in model.parameters():
+        param.data[:] = 0.0
+    model.classifier.bias.data[:] = np.float32(tag)
+    return model
+
+
+def _samples(count: int, seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((count,) + SAMPLE_SHAPE).astype(np.float32)
+
+
+def _request(value: float = 0.0, priority: int = 0) -> FleetRequest:
+    return FleetRequest(np.full(SAMPLE_SHAPE, np.float32(value)), Future(),
+                        priority=priority)
+
+
+class TestAdmissionQueue:
+    def test_priority_ordering_fifo_within_level(self):
+        queue = AdmissionQueue(capacity=8)
+        low1, low2 = _request(1.0, 0), _request(2.0, 0)
+        high = _request(3.0, 5)
+        queue.put(low1)
+        queue.put(low2)
+        queue.put(high)
+        assert queue.get() is high
+        assert queue.get() is low1
+        assert queue.get() is low2
+        assert queue.get(timeout=0.01) is None
+
+    def test_overload_is_typed_and_carries_retry_hint(self):
+        queue = AdmissionQueue(capacity=2)
+        queue.put(_request())
+        queue.put(_request())
+        with pytest.raises(Overloaded) as excinfo:
+            queue.put(_request())
+        assert isinstance(excinfo.value, FleetError)
+        assert excinfo.value.retry_after_s > 0
+        assert queue.depth == 2
+
+    def test_requeue_bypasses_capacity(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.put(_request())
+        rerouted = _request()
+        assert queue.requeue(rerouted)  # full, but admitted work stays admitted
+        assert queue.depth == 2
+        queue.close()
+        assert not queue.requeue(_request())
+        with pytest.raises(Overloaded):
+            queue.put(_request())
+
+    def test_retry_hint_tracks_service_rate(self):
+        queue = AdmissionQueue(capacity=4)
+        for _ in range(4):
+            queue.put(_request())
+        slow_before = queue.retry_after()
+        for _ in range(16):
+            queue.note_served(2.0)
+        assert queue.retry_after() > slow_before
+
+
+class TestRolloutUnits:
+    def test_canary_credit_split_is_deterministic(self):
+        rollout = CanaryRollout(version=2, fraction=0.25, min_requests=100)
+        arms = [rollout.choose_arm() for _ in range(12)]
+        assert arms.count("canary") == 3
+        # Exactly every 4th request canaries — no sampling noise.
+        assert all(arm == "canary" for arm in arms[3::4])
+
+    def test_gate_promotes_healthy_candidate(self):
+        rollout = CanaryRollout(version=2, fraction=0.5, min_requests=3)
+        decision = None
+        for _ in range(3):
+            assert rollout.record("baseline", 0.01, False) is None
+        for _ in range(3):
+            decision = rollout.record("canary", 0.01, False) or decision
+        assert decision == "promote"
+        assert rollout.decision == "promote"
+        # The gate fires exactly once.
+        assert rollout.record("canary", 0.01, False) is None
+
+    def test_gate_rolls_back_on_error_rate(self):
+        rollout = CanaryRollout(version=2, fraction=0.5, min_requests=3,
+                                max_error_rate=0.2)
+        decision = None
+        for _ in range(3):
+            decision = rollout.record("canary", None, True) or decision
+        assert decision == "rollback"
+
+    def test_gate_rolls_back_on_latency_regression(self):
+        rollout = CanaryRollout(version=2, fraction=0.5, min_requests=4,
+                                max_p99_ratio=2.0)
+        for _ in range(4):
+            rollout.record("baseline", 0.01, False)
+        decision = None
+        for _ in range(4):
+            decision = rollout.record("canary", 0.1, False) or decision
+        assert decision == "rollback"
+
+    def test_shadow_tracks_divergence(self):
+        rollout = ShadowRollout(version=3, tolerance=1e-5)
+        rollout.record(np.zeros(4), np.zeros(4))
+        assert rollout.clean
+        rollout.record(np.zeros(4), np.full(4, 0.5))
+        assert not rollout.clean
+        report = rollout.report()
+        assert report["compared"] == 2
+        assert report["mismatches"] == 1
+        assert report["max_abs_diff"] == pytest.approx(0.5)
+        rollout.record(np.zeros(4), None, shadow_error=True)
+        assert rollout.report()["shadow_errors"] == 1
+
+
+class TestFleetServing:
+    def test_burst_matches_direct_engine(self):
+        model = _tiny_model()
+        samples = _samples(16)
+        direct = InferenceEngine(model).infer(samples)
+        with FleetServer(replicas=2, max_batch_size=4, max_wait_ms=1.0) as fleet:
+            fleet.register("vgg", model, warmup_sample=samples[0])
+            futures = [fleet.submit("vgg", sample) for sample in samples]
+            rows = np.stack([future.result(timeout=60) for future in futures])
+        np.testing.assert_allclose(rows, direct, atol=1e-6)
+
+    def test_expired_deadline_fails_typed(self):
+        with FleetServer(replicas=1, max_wait_ms=1.0) as fleet:
+            fleet.register("vgg", _tag_model(1.0))
+            future = fleet.submit("vgg", _samples(1)[0], deadline_s=-0.1)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10)
+            assert fleet._entry("vgg").metrics["shed_deadline"].value == 1
+
+    def test_overload_sheds_typed_and_admitted_requests_complete(self, monkeypatch):
+        original = FleetServer._dispatch
+
+        def slow_dispatch(self, entry, request):
+            time.sleep(0.03)
+            original(self, entry, request)
+
+        monkeypatch.setattr(FleetServer, "_dispatch", slow_dispatch)
+        samples = _samples(30)
+        with FleetServer(replicas=1, max_wait_ms=1.0, queue_capacity=3) as fleet:
+            fleet.register("vgg", _tag_model(1.0),
+                           warmup_sample=samples[0])
+            admitted, shed = [], 0
+            for sample in samples:
+                try:
+                    admitted.append(fleet.submit("vgg", sample))
+                except Overloaded as exc:
+                    assert exc.retry_after_s > 0
+                    shed += 1
+            assert shed > 0, "30 instant submissions must overflow capacity 3"
+            for future in admitted:
+                np.testing.assert_allclose(future.result(timeout=60),
+                                           np.ones(NUM_CLASSES), atol=1e-6)
+            assert fleet._entry("vgg").metrics["shed_overloaded"].value == shed
+
+    def test_inflight_throttle_makes_real_bursts_shed(self):
+        """No patching: the in-flight throttle keeps the bounded admission
+        queue engaged, so a faster-than-service burst sheds at the door."""
+        samples = _samples(60)
+        with FleetServer(replicas=1, max_batch_size=2, max_wait_ms=1.0,
+                         queue_capacity=2, max_inflight_per_replica=2) as fleet:
+            fleet.register("vgg", _tag_model(2.0), warmup_sample=samples[0])
+            admitted, shed = [], 0
+            for sample in samples:
+                try:
+                    admitted.append(fleet.submit("vgg", sample))
+                except Overloaded:
+                    shed += 1
+            assert shed > 0, ("a 60-request instant burst against capacity 2 "
+                              "+ 2 in-flight must shed")
+            for future in admitted:
+                np.testing.assert_allclose(future.result(timeout=60),
+                                           np.full(NUM_CLASSES, 2.0), atol=1e-6)
+
+    def test_replica_crash_reroutes_and_restarts(self):
+        samples = _samples(12)
+        with FleetServer(replicas=2, max_batch_size=2, max_wait_ms=5.0,
+                         restart_backoff_s=0.05) as fleet:
+            fleet.register("vgg", _tag_model(3.0), warmup_sample=samples[0])
+            entry = fleet._entry("vgg")
+            futures = [fleet.submit("vgg", sample) for sample in samples[:6]]
+            entry.group.slots[0].replica.kill()
+            futures += [fleet.submit("vgg", sample) for sample in samples[6:]]
+            # No request is lost without a typed error: every future either
+            # answers or fails with a fleet-typed exception.
+            for future in futures:
+                try:
+                    row = future.result(timeout=60)
+                except (FleetError, BatcherClosed):
+                    continue
+                np.testing.assert_allclose(row, np.full(NUM_CLASSES, 3.0),
+                                           atol=1e-6)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if entry.group.slots[0].replica.alive:
+                    break
+                time.sleep(0.02)
+            assert entry.group.slots[0].replica.alive, "replica never restarted"
+            assert entry.group.slots[0].generation == 1
+            assert entry.metrics["restarts"].value == 1
+            # The restarted replica serves again.
+            np.testing.assert_allclose(
+                fleet.submit("vgg", samples[0]).result(timeout=60),
+                np.full(NUM_CLASSES, 3.0), atol=1e-6)
+
+    def test_no_replicas_left_fails_typed(self):
+        with FleetServer(replicas=1, max_wait_ms=1.0, max_restarts=0) as fleet:
+            fleet.register("vgg", _tag_model(1.0))
+            fleet._entry("vgg").group.slots[0].replica.kill()
+            future = fleet.submit("vgg", _samples(1)[0])
+            with pytest.raises(ReplicaCrashed):
+                future.result(timeout=10)
+
+    def test_unknown_model_and_bad_shapes(self):
+        with FleetServer(replicas=1) as fleet:
+            fleet.register("vgg", _tag_model(1.0))
+            with pytest.raises(KeyError):
+                fleet.submit("nope", _samples(1)[0])
+            with pytest.raises(ValueError):
+                fleet.submit("vgg", np.zeros((2,) + SAMPLE_SHAPE, np.float32))
+
+    @pytest.mark.skipif(not _FORK_AVAILABLE, reason="fork start method unavailable")
+    def test_process_replicas_serve_and_survive_a_kill(self):
+        model = _tiny_model()
+        samples = _samples(8)
+        direct = InferenceEngine(model).infer(samples)
+        with FleetServer(replicas=2, replica_kind="process", max_batch_size=4,
+                         max_wait_ms=2.0, restart_backoff_s=0.05) as fleet:
+            fleet.register("vgg", model)
+            futures = [fleet.submit("vgg", sample) for sample in samples]
+            rows = np.stack([future.result(timeout=120) for future in futures])
+            np.testing.assert_allclose(rows, direct, atol=1e-6)
+            entry = fleet._entry("vgg")
+            entry.group.slots[0].replica.kill()
+            futures = [fleet.submit("vgg", sample) for sample in samples]
+            for future, expected in zip(futures, direct):
+                try:
+                    row = future.result(timeout=120)
+                except (FleetError, BatcherClosed):
+                    continue
+                np.testing.assert_allclose(row, expected, atol=1e-6)
+
+
+class TestRolloutEndToEnd:
+    def test_canary_auto_promotes_healthy_version(self):
+        samples = _samples(40)
+        with FleetServer(replicas=2, max_wait_ms=1.0) as fleet:
+            fleet.register("tag", _tag_model(1.0), warmup_sample=samples[0])
+            # max_p99_ratio is slack: this test exercises the promote path,
+            # not latency discrimination, and a 1-core CI box jitters.
+            rollout = fleet.deploy("tag", _tag_model(2.0), version=2,
+                                   mode="canary", fraction=0.25, min_requests=5,
+                                   max_p99_ratio=100.0)
+            for sample in samples:
+                row = fleet.submit("tag", sample).result(timeout=60)
+                # Either arm answers correctly for its version, never a mix.
+                assert np.allclose(row, 1.0) or np.allclose(row, 2.0)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and rollout.decision is None:
+                time.sleep(0.02)
+            assert rollout.decision == "promote"
+            entry = fleet._entry("tag")
+            assert entry.metrics["promotions"].value == 1
+            assert entry.group.version == 2
+            # Post-promotion traffic is answered only by v2.
+            row = fleet.submit("tag", samples[0]).result(timeout=60)
+            np.testing.assert_allclose(row, np.full(NUM_CLASSES, 2.0), atol=1e-6)
+
+    def test_canary_rolls_back_when_candidate_dies(self):
+        samples = _samples(30)
+        with FleetServer(replicas=1, max_wait_ms=1.0, max_restarts=0) as fleet:
+            fleet.register("tag", _tag_model(1.0), warmup_sample=samples[0])
+            rollout = fleet.deploy("tag", _tag_model(2.0), version=2,
+                                   mode="canary", fraction=0.5, min_requests=3,
+                                   max_error_rate=0.2)
+            for slot in fleet._entry("tag").canary["group"].slots:
+                slot.replica.kill()
+            rows = [fleet.submit("tag", sample).result(timeout=60)
+                    for sample in samples]
+            # The dead candidate never answers a client; baseline covers.
+            for row in rows:
+                np.testing.assert_allclose(row, np.ones(NUM_CLASSES), atol=1e-6)
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and rollout.decision is None:
+                time.sleep(0.02)
+            assert rollout.decision == "rollback"
+            entry = fleet._entry("tag")
+            assert entry.metrics["rollbacks"].value == 1
+            assert entry.group.version == 1
+            assert entry.canary is None
+
+    def test_shadow_compares_but_never_answers(self):
+        samples = _samples(10)
+        with FleetServer(replicas=1, max_wait_ms=1.0) as fleet:
+            fleet.register("tag", _tag_model(1.0), warmup_sample=samples[0])
+            rollout = fleet.deploy("tag", _tag_model(2.0), version=2,
+                                   mode="shadow", tolerance=1e-5)
+            for sample in samples:
+                row = fleet.submit("tag", sample).result(timeout=60)
+                np.testing.assert_allclose(row, np.ones(NUM_CLASSES), atol=1e-6)
+            deadline = time.monotonic() + 10
+            while (time.monotonic() < deadline
+                   and rollout.report()["compared"] < len(samples)):
+                time.sleep(0.02)
+            report = fleet.shadow_report("tag")
+            assert report["compared"] == len(samples)
+            assert report["mismatches"] == len(samples)
+            assert report["max_abs_diff"] == pytest.approx(1.0)
+            fleet.stop_shadow("tag")
+            assert fleet.shadow_report("tag") is None
+
+    def test_clean_shadow_promotes_on_request(self):
+        samples = _samples(6)
+        with FleetServer(replicas=1, max_wait_ms=1.0) as fleet:
+            fleet.register("tag", _tag_model(5.0), warmup_sample=samples[0])
+            rollout = fleet.deploy("tag", _tag_model(5.0), version=2, mode="shadow")
+            for sample in samples:
+                fleet.submit("tag", sample).result(timeout=60)
+            deadline = time.monotonic() + 10
+            while (time.monotonic() < deadline
+                   and rollout.report()["compared"] < len(samples)):
+                time.sleep(0.02)
+            assert rollout.clean
+            fleet.promote_shadow("tag")
+            assert fleet._entry("tag").group.version == 2
+            row = fleet.submit("tag", samples[0]).result(timeout=60)
+            np.testing.assert_allclose(row, np.full(NUM_CLASSES, 5.0), atol=1e-6)
+
+
+class TestStreamingSessions:
+    def test_chunked_stream_matches_one_shot_forward(self):
+        """The acceptance bar: chunked streaming == fixed-T forward to 1e-6."""
+        model = _tiny_model(seed=3, timesteps=6)
+        frames = _samples(6, seed=9)  # six genuinely different event frames
+        one_shot = InferenceEngine(model).infer(frames[:, None])  # (T,1,C,H,W)
+        with FleetServer(replicas=2, max_wait_ms=1.0) as fleet:
+            fleet.register("stream", model)
+            session = fleet.open_session("stream")
+            pinned = session.replica_name
+            session.send_chunk(frames[:2])
+            # Batch traffic interleaves with the stream on the same fleet
+            # without perturbing the carried membrane state.
+            fleet.submit("stream", frames[0]).result(timeout=60)
+            session.send_chunk(frames[2:3])
+            final = session.send_chunk(frames[3:])
+            assert session.replica_name == pinned  # affinity held
+            assert session.timesteps_seen == 6
+            np.testing.assert_allclose(final, one_shot[0], atol=1e-6)
+            session.close()
+            with pytest.raises(SessionClosed):
+                session.send_chunk(frames[:1])
+
+    def test_session_repins_after_replica_crash(self):
+        model = _tiny_model(seed=3, timesteps=6)
+        frames = _samples(6, seed=9)
+        one_shot = InferenceEngine(model).infer(frames[:, None])
+        with FleetServer(replicas=2, max_wait_ms=1.0, max_restarts=0) as fleet:
+            fleet.register("stream", model)
+            session = fleet.open_session("stream")
+            session.send_chunk(frames[:3])
+            pinned = session.replica_name
+            entry = fleet._entry("stream")
+            for slot in entry.group.slots:
+                if slot.replica.name == pinned:
+                    slot.replica.kill()
+            final = session.send_chunk(frames[3:])
+            assert session.repins == 1
+            assert session.replica_name != pinned
+            # The temporal state travelled with the session: the stream is
+            # still numerically the one-shot forward.
+            np.testing.assert_allclose(final, one_shot[0], atol=1e-6)
+
+    def test_idle_sessions_are_evicted(self):
+        with FleetServer(replicas=1, max_wait_ms=1.0,
+                         session_idle_timeout_s=0.1) as fleet:
+            fleet.register("stream", _tag_model(1.0))
+            session = fleet.open_session("stream")
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and not session.closed:
+                time.sleep(0.02)
+            assert session.closed
+            assert session.close_reason == "idle"
+            with pytest.raises(SessionClosed):
+                session.send_chunk(np.zeros((1,) + SAMPLE_SHAPE, np.float32))
+            assert not fleet._entry("stream").sessions
+
+
+class _CollectExporter:
+    def __init__(self):
+        self.spans = []
+
+    def export(self, span):
+        self.spans.append(span)
+
+
+class TestObservability:
+    def test_request_trace_tree_and_metrics(self):
+        tracer = get_tracer()
+        exporter = _CollectExporter()
+        tracer.set_exporters((exporter,))
+        tracer.enabled = True
+        registry = default_registry()
+        try:
+            with FleetServer(replicas=2, max_wait_ms=1.0) as fleet:
+                fleet.register("traced", _tag_model(1.0))
+                fleet.submit("traced", _samples(1)[0]).result(timeout=60)
+                assert registry.get("repro_fleet_queue_depth",
+                                    {"model": "traced"}) is not None
+                assert registry.get(
+                    "repro_fleet_replica_outstanding",
+                    {"model": "traced", "replica": "0"}) is not None
+                utilization = registry.get(
+                    "repro_fleet_replica_utilization",
+                    {"model": "traced", "replica": "0"})
+                assert 0.0 <= utilization.value <= 1.0
+        finally:
+            tracer.enabled = False
+            tracer.set_exporters(())
+        roots = [span for span in exporter.spans if span.name == "serve.request"]
+        assert roots, "fleet requests must produce serve.request roots"
+        root = roots[-1]
+        route = root.find("fleet.route")
+        assert route is not None and route.attrs.get("arm") == "baseline"
+        assert root.find("replica.request") is not None, \
+            "the replica-level span must nest inside the fleet request tree"
+
+    def test_unregister_removes_fleet_metrics(self):
+        registry = default_registry()
+        with FleetServer(replicas=1, max_wait_ms=1.0) as fleet:
+            fleet.register("gone", _tag_model(1.0))
+            fleet.submit("gone", _samples(1)[0]).result(timeout=60)
+            assert registry.get("repro_fleet_queue_depth",
+                                {"model": "gone"}) is not None
+            fleet.unregister("gone")
+            assert registry.get("repro_fleet_queue_depth",
+                                {"model": "gone"}) is None
+            assert registry.get("repro_serve_requests_total",
+                                {"model": "gone"}) is None
+            with pytest.raises(KeyError):
+                fleet.submit("gone", _samples(1)[0])
+
+    def test_close_resolves_queued_requests_typed(self, monkeypatch):
+        # Blind the dispatcher's dequeue so submissions stay queued, then
+        # close the fleet: every queued future must resolve with a typed
+        # error, not hang.
+        monkeypatch.setattr(AdmissionQueue, "get",
+                            lambda self, timeout=0.05: time.sleep(0.005))
+        fleet = FleetServer(replicas=1, max_wait_ms=1.0, queue_capacity=16)
+        fleet.register("vgg", _tag_model(1.0))
+        futures = [fleet.submit("vgg", sample) for sample in _samples(8)]
+        fleet.close()
+        for future in futures:
+            assert future.done()
+            exc = None if future.cancelled() else future.exception()
+            assert future.cancelled() or isinstance(
+                exc, (BatcherClosed, FleetError))

@@ -21,7 +21,9 @@ import pytest
 
 from repro.models.builder import convert_to_tt, count_tt_layers
 from repro.models.vgg import spiking_vgg9
+from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.serve import (
+    BatcherClosed,
     InferenceEngine,
     InferenceServer,
     MicroBatcher,
@@ -191,6 +193,37 @@ class TestMicroBatcher:
             batcher.submit(_sample(0))
         batcher.close()          # idempotent
 
+    def test_close_without_drain_resolves_queued_futures(self):
+        """close(drain=False) must deterministically resolve every queued
+        future — even while a worker is wedged inside the engine — so no
+        caller blocked in ``future.result()`` hangs across shutdown."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def blocking(batch: np.ndarray) -> np.ndarray:
+            started.set()
+            release.wait(timeout=10)
+            return batch.mean(axis=(1, 2, 3))
+
+        batcher = MicroBatcher(blocking, max_batch_size=1, max_wait_ms=1)
+        first = batcher.submit(_sample(0))
+        assert started.wait(timeout=5)            # worker is inside blocking()
+        queued = [batcher.submit(_sample(i)) for i in range(1, 5)]
+        closer = threading.Thread(
+            target=lambda: batcher.close(timeout=0.2, drain=False))
+        closer.start()
+        closer.join(timeout=5)
+        assert not closer.is_alive()              # close returns despite the wedge
+        for future in queued:
+            assert future.done()
+            assert future.cancelled() or isinstance(future.exception(),
+                                                    BatcherClosed)
+        with pytest.raises(RuntimeError):
+            batcher.submit(_sample(9))
+        # The in-flight request still resolves through the normal batch path.
+        release.set()
+        assert float(first.result(timeout=5)) == pytest.approx(0.0, abs=1e-3)
+
     def test_submit_validates_shape(self):
         with MicroBatcher(_echo_batch) as batcher:
             with pytest.raises(ValueError):
@@ -317,6 +350,34 @@ class TestResponseCache:
         fetched[:] = -2                             # caller mutates the response
         np.testing.assert_array_equal(cache.get("k"), [1.0, 2.0])
 
+    def test_counters_export_through_metrics_registry(self):
+        registry = MetricsRegistry()
+        cache = ResponseCache(capacity=2, name="exported", registry=registry)
+        labels = {"model": "exported"}
+        cache.get("miss")
+        cache.put("a", np.array([1.0]))
+        cache.put("b", np.array([2.0]))
+        cache.put("c", np.array([3.0]))            # evicts 'a'
+        cache.get("c")
+        assert registry.get("repro_serve_response_cache_hits_total",
+                            labels).value == cache.hits == 1
+        assert registry.get("repro_serve_response_cache_misses_total",
+                            labels).value == cache.misses == 1
+        assert registry.get("repro_serve_response_cache_evictions_total",
+                            labels).value == cache.evictions == 1
+        cache.deregister_metrics()
+        assert registry.get("repro_serve_response_cache_hits_total",
+                            labels) is None
+        # The plain attributes keep working after deregistration.
+        cache.get("c")
+        assert cache.hits == 2
+
+    def test_anonymous_cache_stays_out_of_the_registry(self):
+        before = len(default_registry().snapshot())
+        cache = ResponseCache(capacity=2)
+        cache.put("k", np.array([1.0]))
+        assert len(default_registry().snapshot()) == before
+
     def test_lookup_and_clear(self, rng):
         cache = ResponseCache(capacity=2)
         sample = rng.random(SAMPLE_SHAPE).astype(np.float32)
@@ -421,6 +482,105 @@ class TestInferenceServer:
             # The cached v1 response must not answer for v2.
             assert server.cache("vgg").hits == 0
             assert not np.allclose(before, after)
+
+    def test_unregister_tears_down_plumbing(self, tiny_engine, rng):
+        registry = default_registry()
+        labels = {"model": "ephemeral"}
+        sample = rng.random(SAMPLE_SHAPE).astype(np.float32)
+        with InferenceServer(max_wait_ms=1) as server:
+            server.register("ephemeral", tiny_engine)
+            server.infer("ephemeral", sample)
+            assert registry.get("repro_serve_requests_total", labels) is not None
+            assert registry.get("repro_serve_response_cache_misses_total",
+                                labels) is not None
+            batcher = server._batchers["ephemeral"]
+            server.unregister("ephemeral")
+            # Plumbing is gone: batcher closed, instruments deregistered,
+            # the name no longer served.
+            assert registry.get("repro_serve_requests_total", labels) is None
+            assert registry.get("repro_serve_response_cache_misses_total",
+                                labels) is None
+            with pytest.raises(RuntimeError):
+                batcher.submit(sample)
+            with pytest.raises(KeyError):
+                server.submit("ephemeral", sample)
+
+    def test_unregister_single_version_keeps_serving(self, tiny_engine, rng):
+        sample = rng.random(SAMPLE_SHAPE).astype(np.float32)
+        with InferenceServer(max_wait_ms=1) as server:
+            server.register("multi", tiny_engine, version=1)
+            server.register("multi", tiny_engine, version=2)
+            server.unregister("multi", version=2)
+            assert server.registry.latest_version("multi") == 1
+            assert server.infer("multi", sample).shape == (4,)
+
+    def test_hot_swap_under_concurrent_traffic(self, rng):
+        """Hammer a served name from several threads across a hot swap.
+
+        Tag models (all-zero weights, constant classifier bias) answer with
+        exactly their bias, so version identity is checkable per response:
+        every answer must be all-v1 or all-v2 (never a mix), requests
+        submitted after ``swap`` returned must all be v2, and v1 cache
+        entries must never answer v2 traffic.
+        """
+        def tag_model(tag: float):
+            model = spiking_vgg9(num_classes=4, in_channels=3,
+                                 timesteps=TIMESTEPS, width_scale=0.08,
+                                 rng=np.random.default_rng(0))
+            for param in model.parameters():
+                param.data[:] = 0.0
+            model.classifier.bias.data[:] = np.float32(tag)
+            return model
+
+        pool = [rng.random(SAMPLE_SHAPE).astype(np.float32) for _ in range(6)]
+        swapped = threading.Event()
+        stop = threading.Event()
+        outcomes: list = []
+        errors: list = []
+
+        def hammer(tid: int) -> None:
+            i = tid
+            try:
+                while not stop.is_set():
+                    after_swap = swapped.is_set()
+                    row = server.infer("hot", pool[i % len(pool)], timeout=30)
+                    outcomes.append((after_swap, row))
+                    i += 1
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        with InferenceServer(max_batch_size=4, max_wait_ms=1) as server:
+            server.register("hot", tag_model(1.0))
+            primed = server.infer("hot", pool[0])       # cache a v1 answer
+            np.testing.assert_allclose(primed, np.ones(4), atol=1e-6)
+            threads = [threading.Thread(target=hammer, args=(tid,))
+                       for tid in range(4)]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.15)
+            server.swap("hot", tag_model(2.0))
+            swapped.set()
+            time.sleep(0.15)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not errors
+            # The v1-keyed cache entry must not answer the v2 request.
+            np.testing.assert_allclose(server.infer("hot", pool[0]),
+                                       np.full(4, 2.0), atol=1e-6)
+        assert outcomes
+        saw_v1 = saw_v2 = False
+        for after_swap, row in outcomes:
+            is_v1 = np.allclose(row, 1.0, atol=1e-6)
+            is_v2 = np.allclose(row, 2.0, atol=1e-6)
+            assert is_v1 != is_v2, f"mixed-version logits: {row}"
+            saw_v1 |= is_v1
+            saw_v2 |= is_v2
+            if after_swap:
+                # Staleness is bounded to in-flight batches: anything
+                # submitted after swap() returned is answered by v2.
+                assert is_v2, "request submitted after swap answered by v1"
+        assert saw_v1 and saw_v2, "traffic did not straddle the swap"
 
     def test_serves_models_from_a_prepopulated_registry(self, tiny_engine, rng):
         """Names registered directly on the registry get plumbing lazily."""
