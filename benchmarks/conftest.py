@@ -39,6 +39,10 @@ BENCH_PARALLEL_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 BENCH_FLEET_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 "BENCH_fleet.json")
 
+#: machine-readable sink for the resilience-overhead benchmark numbers
+BENCH_RESILIENCE_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                     "BENCH_resilience.json")
+
 
 def record_bench(section: str, payload: dict, path: str = None) -> str:
     """Merge one benchmark's numbers into a ``BENCH_*.json`` sink.

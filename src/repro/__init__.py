@@ -26,6 +26,8 @@ Subpackages
                      micro-batching, model registry, response cache, stats
 ``repro.obs``        observability: tracing spans, metrics registry,
                      Chrome-trace / JSONL exporters, flight recorder
+``repro.resilience`` deterministic fault injection, durable checkpoints,
+                     numeric guards, per-replica circuit breakers
 ``repro.search``     one-shot TT-rank/format search: entangled supernet,
                      evolutionary + Gumbel-softmax strategies, hardware-aware
                      Pareto selection
@@ -43,6 +45,7 @@ from repro import (
     nn,
     obs,
     optim,
+    resilience,
     search,
     serve,
     snn,
@@ -64,5 +67,6 @@ __all__ = [
     "serve",
     "search",
     "obs",
+    "resilience",
     "__version__",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Iterator, Optional, Tuple
 
 import numpy as np
@@ -101,7 +102,10 @@ class DataLoader:
     and batches are yielded strictly in order, so prefetching is
     bit-deterministic with the non-prefetch iterator for a given ``seed``
     (per-sample ``transform`` callables must not share unseeded global
-    state).
+    state).  Transient assembly failures (the ``OSError`` family — flaky
+    storage, injected ``data.prefetch`` faults) are retried up to
+    ``prefetch_retries`` times with linear backoff; permanent errors still
+    propagate to the consumer with the ``data.prefetch_error`` span.
 
     **Sharding** (data-parallel workers): with ``num_shards=S,
     shard_index=k`` the loader walks the *same* epoch permutation as the
@@ -120,11 +124,15 @@ class DataLoader:
     def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
                  drop_last: bool = False, seed: Optional[int] = None,
                  prefetch: bool = False, prefetch_depth: int = 2,
+                 prefetch_retries: int = 2,
+                 prefetch_retry_backoff_s: float = 0.05,
                  num_shards: int = 1, shard_index: int = 0):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if prefetch_depth < 1:
             raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
+        if prefetch_retries < 0:
+            raise ValueError(f"prefetch_retries must be >= 0, got {prefetch_retries}")
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if not 0 <= shard_index < num_shards:
@@ -136,6 +144,8 @@ class DataLoader:
         self.drop_last = drop_last
         self.prefetch = prefetch
         self.prefetch_depth = prefetch_depth
+        self.prefetch_retries = int(prefetch_retries)
+        self.prefetch_retry_backoff_s = float(prefetch_retry_backoff_s)
         self.num_shards = num_shards
         self.shard_index = shard_index
         # Materialise an entropy base even for seed=None so that sharded
@@ -215,11 +225,42 @@ class DataLoader:
         tracer = get_tracer()
         consumer_span = current_span() if tracer.enabled else None
 
+        def assemble_with_retry(batch_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            """One batch, retrying *transient* (OSError-family) failures.
+
+            Programming errors (bad transform, index bugs) propagate on
+            first occurrence; I/O blips retry ``prefetch_retries`` times
+            with linear backoff before being treated as permanent.  The
+            ``data.prefetch`` fault site injects such a blip for the chaos
+            suite.
+            """
+            from repro.obs import metrics as _metrics
+            from repro.resilience import faults
+
+            attempt = 0
+            while True:
+                try:
+                    injector = faults.get_injector()
+                    if injector is not None:
+                        action = injector.maybe("data.prefetch")
+                        if action is not None:
+                            raise OSError(action.get(
+                                "message", "injected transient prefetch error"))
+                    return self._assemble(batch_idx)
+                except OSError:
+                    attempt += 1
+                    if attempt > self.prefetch_retries:
+                        raise
+                    _metrics.counter(
+                        "repro_data_prefetch_retries_total",
+                        "Prefetch batches retried after a transient error").inc()
+                    time.sleep(self.prefetch_retry_backoff_s * attempt)
+
         def worker() -> None:
             done = 0
             try:
                 for batch_idx in batches:
-                    buffer.put(self._assemble(batch_idx))
+                    buffer.put(assemble_with_retry(batch_idx))
                     done += 1
             except BaseException as exc:  # propagate to the consumer
                 if tracer.enabled:

@@ -35,6 +35,7 @@ import multiprocessing
 import numpy as np
 
 from repro.fleet.errors import ReplicaCrashed
+from repro.resilience import faults
 from repro.serve.batcher import MicroBatcher
 from repro.serve.engine import InferenceEngine
 
@@ -151,6 +152,17 @@ class ThreadReplica(Replica):
         self.engine = engine_factory()
 
         def timed_infer(batch: np.ndarray) -> np.ndarray:
+            injector = faults.get_injector()
+            if injector is not None:
+                # Crash marks the replica dead and raises the same typed error
+                # a genuine engine failure would — kill()ing the batcher from
+                # inside its own worker would self-join and deadlock.
+                if injector.maybe("replica.crash", replica=self.name) is not None:
+                    self._killed = True
+                    raise ReplicaCrashed("injected crash", replica=self.name)
+                slow = injector.maybe("replica.slow", replica=self.name)
+                if slow is not None:
+                    time.sleep(float(slow.get("seconds", 0.05)))
             start = time.perf_counter()
             try:
                 return self.engine.infer(batch)

@@ -49,6 +49,7 @@ from repro.fleet.rollout import CanaryRollout, ShadowRollout
 from repro.fleet.sessions import StreamingSession
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.trace import get_tracer
+from repro.resilience.breaker import CLOSED, OPEN, CircuitBreaker
 from repro.serve.batcher import BatcherClosed
 from repro.serve.engine import InferenceEngine
 from repro.serve.stats import ServerStats
@@ -62,7 +63,8 @@ _SHED_REASONS = ("overloaded", "deadline", "crashed")
 class _ReplicaSlot:
     """One position in a replica group, stable across restarts."""
 
-    __slots__ = ("index", "replica", "generation", "restarts", "restart_at")
+    __slots__ = ("index", "replica", "generation", "restarts", "restart_at",
+                 "healthy_since")
 
     def __init__(self, index: int, replica: Replica):
         self.index = index
@@ -71,6 +73,9 @@ class _ReplicaSlot:
         self.restarts = 0
         #: Scheduled restart time (monotonic) once the replica is seen dead.
         self.restart_at: Optional[float] = None
+        #: Monotonic time the replica was last seen (re)entering the alive
+        #: state; a sustained healthy window resets the backoff counter.
+        self.healthy_since: Optional[float] = None
 
 
 class _ReplicaGroup:
@@ -152,6 +157,21 @@ class FleetServer:
         Crash supervision: a dead replica is rebuilt after
         ``backoff * 2**restarts`` seconds (capped), at most ``max_restarts``
         times per slot.
+    restart_reset_s:
+        A replica that stays alive this long after a restart earns its slot's
+        backoff counter back (``restarts`` resets to 0), so a replica that
+        crashes rarely but over a long uptime is never permanently
+        condemned by ``max_restarts``.
+    breaker_window / breaker_min_requests / breaker_error_threshold /
+    breaker_open_s:
+        Per-replica circuit breaker
+        (:class:`~repro.resilience.breaker.CircuitBreaker`): each replica's
+        recent outcomes feed a sliding window; at ``breaker_error_threshold``
+        error fraction (with at least ``breaker_min_requests`` samples) the
+        breaker opens and the router skips the replica for ``breaker_open_s``
+        seconds, then half-opens with bounded probes.  When *every* breaker
+        is open the router falls back to any alive replica — availability
+        beats purity.
     session_idle_timeout_s:
         Streaming sessions idle longer than this are evicted (closed with
         reason ``"idle"``).
@@ -170,6 +190,11 @@ class FleetServer:
         restart_backoff_s: float = 0.2,
         restart_backoff_cap_s: float = 5.0,
         max_restarts: int = 5,
+        restart_reset_s: float = 30.0,
+        breaker_window: int = 20,
+        breaker_min_requests: int = 5,
+        breaker_error_threshold: float = 0.5,
+        breaker_open_s: float = 1.0,
         session_idle_timeout_s: float = 60.0,
         registry: Optional[MetricsRegistry] = None,
         tick_s: float = 0.02,
@@ -193,6 +218,12 @@ class FleetServer:
         self.restart_backoff_s = float(restart_backoff_s)
         self.restart_backoff_cap_s = float(restart_backoff_cap_s)
         self.max_restarts = int(max_restarts)
+        self.restart_reset_s = float(restart_reset_s)
+        self._breaker_kwargs = dict(
+            window=int(breaker_window),
+            min_requests=int(breaker_min_requests),
+            error_threshold=float(breaker_error_threshold),
+            open_duration_s=float(breaker_open_s))
         self.session_idle_timeout_s = float(session_idle_timeout_s)
         self.registry = registry if registry is not None else default_registry()
         self.tick_s = float(tick_s)
@@ -206,19 +237,27 @@ class FleetServer:
                       engine_kwargs: dict):
         """Build-recipe closure: (slot, generation) -> fresh warmed replica."""
         if kind == "thread":
-            def factory(slot: int, generation: int) -> Replica:
+            def build(slot: int, generation: int) -> Replica:
                 return ThreadReplica(
                     f"{name}/v{version}/r{slot}.{generation}",
                     lambda: InferenceEngine(model, **engine_kwargs),
                     max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms, model_name=name)
         else:
-            def factory(slot: int, generation: int) -> Replica:
+            def build(slot: int, generation: int) -> Replica:
                 return ProcessReplica(
                     f"{name}/v{version}/r{slot}.{generation}", model,
                     engine_kwargs=engine_kwargs,
                     max_batch_size=self.max_batch_size,
                     max_wait_ms=self.max_wait_ms, model_name=name)
+
+        def factory(slot: int, generation: int) -> Replica:
+            replica = build(slot, generation)
+            # A fresh incarnation starts with a clean breaker: its
+            # predecessor's error history belongs to the dead process.
+            replica.breaker = CircuitBreaker(**self._breaker_kwargs)
+            return replica
+
         return factory
 
     def _build_group(self, name: str, model, version, count: int, kind: str,
@@ -304,6 +343,9 @@ class FleetServer:
                 replica = slots[index].replica
                 if attribute == "outstanding":
                     return float(replica.outstanding)
+                if attribute == "breaker":
+                    breaker = getattr(replica, "breaker", None)
+                    return breaker.state_code() if breaker is not None else 0.0
                 return replica.utilization()
             return read
 
@@ -317,6 +359,11 @@ class FleetServer:
                 "repro_fleet_replica_utilization",
                 "Busy fraction per replica", labels=rlabels,
                 fn=slot_reader(index, "utilization"))
+            metrics[f"breaker_{index}"] = self.registry.gauge(
+                "repro_fleet_breaker_state",
+                "Circuit-breaker state per replica "
+                "(0=closed, 1=open, 2=half-open)", labels=rlabels,
+                fn=slot_reader(index, "breaker"))
 
     # -- client surface -----------------------------------------------------------
 
@@ -577,15 +624,32 @@ class FleetServer:
                 attrs={"version": str(canary["rollout"].version)})
         replica_future = None
         replica = None
-        for candidate in group.ranked():
-            try:
-                active = dispatch_span or request.route_span
-                with tracer.activate(active):
-                    replica_future = candidate.submit(request.sample)
-                replica = candidate
+        # Two passes over the load-ranked candidates: breaker-allowed
+        # replicas first, then — availability beats purity — the replicas
+        # whose breakers are open, so an all-tripped group still serves.
+        # ``allow()`` is consulted lazily, right before a submit, because a
+        # half-open breaker counts each allow() as a probe in flight.
+        skipped: List[Replica] = []
+        ranked = group.ranked()
+        for candidates in (ranked, skipped):
+            for candidate in candidates:
+                breaker = getattr(candidate, "breaker", None)
+                if (candidates is ranked and breaker is not None
+                        and not breaker.allow()):
+                    skipped.append(candidate)
+                    continue
+                try:
+                    active = dispatch_span or request.route_span
+                    with tracer.activate(active):
+                        replica_future = candidate.submit(request.sample)
+                    replica = candidate
+                    break
+                except ReplicaCrashed:
+                    if breaker is not None:
+                        breaker.record_failure()
+                    continue
+            if replica_future is not None:
                 break
-            except ReplicaCrashed:
-                continue
         if dispatch_span is not None:
             tracer.finish_span(dispatch_span)
         if replica_future is None:
@@ -652,6 +716,12 @@ class FleetServer:
                 "replica shut down mid-request", replica=replica.name)
         else:
             error = replica_future.exception()
+        breaker = getattr(replica, "breaker", None)
+        if breaker is not None:
+            if error is None:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
         crash = isinstance(error, (ReplicaCrashed, BatcherClosed))
         if crash and request.retries == 0:
             request.retries = 1
@@ -744,7 +814,16 @@ class FleetServer:
                        slot: _ReplicaSlot, now: float) -> None:
         if slot.replica.alive:
             slot.restart_at = None
+            if slot.healthy_since is None:
+                slot.healthy_since = now
+            elif (slot.restarts
+                  and now - slot.healthy_since >= self.restart_reset_s):
+                # Sustained health earns the backoff counter back: the next
+                # crash restarts promptly instead of inheriting the stale
+                # exponential penalty (or a permanent max_restarts ban).
+                slot.restarts = 0
             return
+        slot.healthy_since = None
         if slot.restarts >= self.max_restarts:
             return
         if slot.restart_at is None:
@@ -810,9 +889,43 @@ class FleetServer:
                 "queue_depth": slot.replica.queue_depth,
                 "utilization": slot.replica.utilization(),
                 "restarts": slot.restarts,
+                "breaker": (slot.replica.breaker.state
+                            if getattr(slot.replica, "breaker", None) is not None
+                            else CLOSED),
             }
             for slot in entry.group.slots
         ]
+
+    def health_report(self, name: str) -> dict:
+        """Readiness probe: is at least one replica alive with a non-open breaker?
+
+        ``ready`` is the bit a load balancer or orchestration health check
+        would consume; ``replicas`` carries the per-slot detail (liveness,
+        breaker snapshot, restart budget) for debugging a not-ready fleet.
+        """
+        entry = self._entry(name)
+        replicas = []
+        ready = False
+        for slot in entry.group.slots:
+            breaker = getattr(slot.replica, "breaker", None)
+            state = breaker.state if breaker is not None else CLOSED
+            alive = slot.replica.alive
+            routable = alive and state != OPEN
+            ready = ready or routable
+            replicas.append({
+                "slot": slot.index,
+                "name": slot.replica.name,
+                "alive": alive,
+                "routable": routable,
+                "restarts": slot.restarts,
+                "breaker": breaker.snapshot() if breaker is not None else None,
+            })
+        return {
+            "model": name,
+            "ready": ready,
+            "queue_depth": entry.queue.depth,
+            "replicas": replicas,
+        }
 
     def queue_depth(self, name: str) -> int:
         return self._entry(name).queue.depth

@@ -213,7 +213,7 @@ class Module:
 
     def compile(self, fn=None, optimize: str = "O0", profile: bool = False,
                 parallel_workers: int = 0, backend: str = "numpy",
-                dtype=None):
+                dtype=None, guard_numerics: bool = False):
         """Return a compiled (capture/replay) no-grad forward of this module.
 
         The first call per input signature traces one eager forward into an
@@ -241,6 +241,12 @@ class Module:
         ``"float64"``) recasts this module in place via :meth:`astype` and
         makes the compiled forward cast its inputs to match; the default
         keeps the module's current precision (float32 throughout the repo).
+
+        ``guard_numerics=True`` checks every node's output for NaN/Inf during
+        replay: a non-finite value raises a typed
+        :class:`~repro.resilience.errors.NumericFault`, and a misbehaving
+        *native* kernel is quarantined to the numpy reference path and the
+        replay retried once (see :mod:`repro.resilience`).
         """
         from repro.runtime.replay import CompiledForward
 
@@ -249,7 +255,8 @@ class Module:
         return CompiledForward(fn if fn is not None else self, owner=self,
                                optimize=optimize, profile=profile,
                                parallel_workers=parallel_workers,
-                               backend=backend, dtype=dtype)
+                               backend=backend, dtype=dtype,
+                               guard_numerics=guard_numerics)
 
     # -- introspection -------------------------------------------------------------
 

@@ -27,12 +27,25 @@ keeps serving (the *coordinator* decides to shut the pool down — see
 pipe poll loop.  Either way :meth:`WorkerPool.close` terminates every
 process and unlinks both shared-memory segments, so no orphaned segments
 survive a crash (asserted in ``tests/test_parallel.py``).
+
+A worker that *hangs* — alive but not answering — is the one failure a
+teardown cannot diagnose, so the reply deadline doubles as a watchdog:
+:meth:`WorkerPool.recv` raises a recoverable
+:class:`~repro.resilience.errors.WorkerHungError` when the process is still
+alive at the deadline, and the supervisor
+(:class:`~repro.parallel.trainer.DataParallelTrainer`) kills and respawns
+just that rank via :meth:`WorkerPool.restart_worker`, resynchronises the
+survivors (:meth:`WorkerPool.resync`), and retries the step from the synced
+weights.  Hangs (and crashes) are injectable deterministically through the
+``worker.hang`` / ``worker.crash`` fault sites in the worker command loop
+(:mod:`repro.resilience.faults`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import time
 import traceback
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -40,8 +53,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.parallel.shm import ParamBlock, SharedArray, tree_reduce_rows
+from repro.resilience import faults
+from repro.resilience.errors import WorkerHungError
 
-__all__ = ["WorkerPool", "WorkerCrashError"]
+__all__ = ["WorkerPool", "WorkerCrashError", "WorkerHungError"]
 
 #: default seconds the coordinator waits for one worker reply before
 #: declaring the pool wedged (shards are laptop-scale; minutes means hung)
@@ -74,6 +89,14 @@ def _worker_main(rank: int, conn, spec: Dict[str, object]) -> None:
     from repro.obs.trace import get_tracer
 
     get_tracer().enabled = False
+
+    # Rebuild the fault injector from the pickled plan rather than inheriting
+    # the coordinator's (fork-copied) injector state: a fresh injector starts
+    # its visit counters at zero, so worker-side fault schedules are
+    # deterministic regardless of how many faults the coordinator already
+    # fired before the fork.
+    plan = spec.get("fault_plan")
+    injector = faults.install(plan) if plan is not None else None
 
     weights = SharedArray.attach(spec["weights_name"], (spec["total"],))
     grads = SharedArray.attach(spec["grads_name"],
@@ -137,6 +160,19 @@ def _worker_main(rank: int, conn, spec: Dict[str, object]) -> None:
         if cmd == "shutdown":
             conn.send({"status": "ok"})
             break
+        if injector is not None and cmd in ("step", "epoch_step"):
+            # Injected crash: die without a word, exactly like a segfault or
+            # an OOM kill — the coordinator's liveness poll must catch it.
+            action = injector.maybe("worker.crash", rank=rank)
+            if action is not None:
+                os._exit(int(action.get("exitcode", 17)))
+            # Injected hang: stop answering while staying alive — only the
+            # reply-deadline watchdog can catch this one.  The sleep sits
+            # *before* the batch iterator advances, so a killed-and-retried
+            # step never half-consumes this worker's data stream.
+            action = injector.maybe("worker.hang", rank=rank)
+            if action is not None:
+                time.sleep(float(action.get("seconds", 3600.0)))
         try:
             if cmd == "step":
                 payload = run_shards(msg["shards"], int(msg["total_n"]))
@@ -336,24 +372,36 @@ class WorkerPool:
             "drop_last": drop_last,
             "prefetch": prefetch,
             "seed": seed,
+            # Workers rebuild a fresh injector from the plan (see
+            # ``_worker_main``); ``None`` keeps the zero-cost no-op path.
+            "fault_plan": faults.active_plan(),
         }
         self._val_dataset = val_dataset
+        self.worker_restarts = 0
 
-        ctx = multiprocessing.get_context(start_method)
+        # Kept for the watchdog: ``restart_worker`` respawns a single rank
+        # from the same spec without rebuilding the pool.
+        self._ctx = multiprocessing.get_context(start_method)
+        self._spec = spec
         self._conns = []
         self._procs = []
         try:
             for rank in range(num_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(target=_worker_main, name=f"repro-dp-{rank}",
-                                   args=(rank, child_conn, spec), daemon=True)
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
+                self._conns.append(None)
+                self._procs.append(None)
+                self._spawn(rank, spec)
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, rank: int, spec: Dict[str, object]) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(target=_worker_main, name=f"repro-dp-{rank}",
+                                 args=(rank, child_conn, spec), daemon=True)
+        proc.start()
+        child_conn.close()
+        self._conns[rank] = parent_conn
+        self._procs[rank] = proc
 
     # -- messaging ----------------------------------------------------------------
 
@@ -369,7 +417,13 @@ class WorkerPool:
             self.send(rank, dict(msg, **(per_rank(rank) if per_rank else {})))
 
     def recv(self, rank: int, timeout: float = DEFAULT_TIMEOUT_S) -> Dict[str, object]:
-        """Wait for one reply from ``rank``; crash the pool on error/death."""
+        """Wait for one reply from ``rank``; crash the pool on error/death.
+
+        A *hung* worker — deadline reached while the process is still alive
+        — raises :class:`WorkerHungError` **without** tearing the pool down:
+        that failure is recoverable by :meth:`restart_worker` + a retry,
+        which the driving trainer owns.
+        """
         conn, proc = self._conns[rank], self._procs[rank]
         deadline = time.monotonic() + timeout
         while True:
@@ -389,7 +443,7 @@ class WorkerPool:
                     pass
                 self._crash(rank, f"worker process exited (code {proc.exitcode})")
             if time.monotonic() > deadline:
-                self._crash(rank, f"no reply within {timeout:.0f}s")
+                raise WorkerHungError(rank, timeout)
         if reply.get("status") == "error":
             self._crash(rank, reply.get("error", "unknown error"),
                         reply.get("traceback"))
@@ -426,7 +480,12 @@ class WorkerPool:
                 self._crash(next(iter(inflight)), f"no reply within {timeout:.0f}s")
             for conn in ready:
                 rank = self._conns.index(conn)
-                results[inflight.pop(rank)] = self.recv(rank, timeout=timeout)
+                try:
+                    results[inflight.pop(rank)] = self.recv(rank, timeout=timeout)
+                except WorkerHungError as exc:
+                    # map() callers (the searcher) carry no per-item retry
+                    # state, so a hang here keeps the fatal-teardown contract.
+                    self._crash(exc.rank, f"no reply within {timeout:.0f}s")
                 free.append(rank)
         return results  # type: ignore[return-value]
 
@@ -443,6 +502,52 @@ class WorkerPool:
     def assign_reduced_gradients(self) -> None:
         """Reduce and deposit the result on the coordinator's ``param.grad``."""
         self.block.assign_grads(self.reduce_gradients(), self._params)
+
+    # -- watchdog recovery --------------------------------------------------------
+
+    def restart_worker(self, rank: int, timeout: float = 5.0) -> None:
+        """Kill and respawn one hung rank; the rest of the pool is untouched.
+
+        The respawned incarnation runs *clean* (no fault plan): the seeded
+        fault schedule belongs to the original worker processes, which is
+        what makes "inject one hang, recover, finish the run" replay
+        identically — a fresh injector in the replacement would re-fire the
+        same visit-indexed faults forever.
+        """
+        proc, conn = self._procs[rank], self._conns[rank]
+        proc.terminate()
+        proc.join(timeout=timeout)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            proc.kill()
+            proc.join(timeout=timeout)
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self._spawn(rank, dict(self._spec, fault_plan=None))
+        self.worker_restarts += 1
+        from repro.obs import metrics as _metrics
+
+        _metrics.counter(
+            "repro_pool_worker_restarts_total",
+            help="Hung pool workers killed and respawned by the watchdog.",
+        ).inc()
+
+    def resync(self, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        """Barrier the pool after an aborted step: discard stale replies.
+
+        Workers that were *not* hung may still be computing (or have already
+        answered) the aborted step.  A plain pipe drain would race their
+        in-flight compute, so the barrier is a ping handshake: every rank is
+        pinged and replies are consumed until the pong arrives, which by
+        pipe FIFO ordering proves every earlier reply has been discarded.
+        """
+        self.broadcast({"cmd": "ping"})
+        for rank in range(self.num_workers):
+            while True:
+                reply = self.recv(rank, timeout=timeout)
+                if reply.get("pong") == rank:
+                    break
 
     # -- health / stats -----------------------------------------------------------
 
@@ -476,20 +581,22 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
+        conns = [conn for conn in self._conns if conn is not None]
+        procs = [proc for proc in self._procs if proc is not None]
         if graceful:
-            for conn in self._conns:
+            for conn in conns:
                 try:
                     conn.send({"cmd": "shutdown"})
                 except (OSError, ValueError):
                     pass
         deadline = time.monotonic() + timeout
-        for proc in self._procs:
+        for proc in procs:
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
-        for proc in self._procs:
+        for proc in procs:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
-        for conn in self._conns:
+        for conn in conns:
             try:
                 conn.close()
             except OSError:

@@ -25,8 +25,10 @@ unconditionally.
 
 from __future__ import annotations
 
+import atexit
 import os
 import secrets
+import weakref
 from multiprocessing import shared_memory
 from typing import Dict, Iterable, List, Sequence, Tuple
 
@@ -38,6 +40,28 @@ __all__ = ["ParamBlock", "SharedArray", "tree_reduce_rows", "segment_name"]
 def segment_name(tag: str) -> str:
     """A collision-proof shared-memory segment name (``repro-<tag>-<pid>-<hex>``)."""
     return f"repro-{tag}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+#: Owned (created-here) segments that have not been unlinked yet.  The atexit
+#: guard below unlinks whatever is left, so a coordinator that dies without
+#: reaching ``WorkerPool.close()`` — an unhandled exception, ``sys.exit`` from
+#: a signal handler — cannot leak ``/dev/shm`` segments.  A WeakSet so a
+#: garbage-collected array (whose ``__del__`` already unlinked) drops out.
+_LIVE_OWNED: "weakref.WeakSet[SharedArray]" = weakref.WeakSet()
+_GUARD_PID = os.getpid()
+
+
+@atexit.register
+def _unlink_leftover_segments() -> None:  # pragma: no cover - exit path
+    # ``fork`` children inherit the registry; only the creating process may
+    # unlink, or a dying worker would destroy segments its siblings still use.
+    if os.getpid() != _GUARD_PID:
+        return
+    for seg in list(_LIVE_OWNED):
+        try:
+            seg.unlink()
+        except Exception:  # noqa: BLE001 - best effort at interpreter exit
+            pass
 
 
 class ParamBlock:
@@ -140,6 +164,8 @@ class SharedArray:
                 resource_tracker.register = original_register
         self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
         self._closed = False
+        if self._owner:
+            _LIVE_OWNED.add(self)
 
     @classmethod
     def create(cls, tag: str, shape: tuple, dtype=np.float64) -> "SharedArray":
@@ -169,6 +195,7 @@ class SharedArray:
         self.close()
         if not self._owner:
             return
+        _LIVE_OWNED.discard(self)
         try:
             self._shm.unlink()
         except FileNotFoundError:

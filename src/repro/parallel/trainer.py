@@ -47,10 +47,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.obs.metrics import gauge, histogram
+from repro.obs.metrics import counter, gauge, histogram
 from repro.obs.trace import Span, get_tracer
 from repro.optim import SGD, Adam, CosineAnnealingLR
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import DEFAULT_TIMEOUT_S, WorkerPool
+from repro.resilience.errors import WorkerHungError
 from repro.training.checkpoint import load_training_state, save_training_state
 from repro.training.config import TrainingConfig
 from repro.training.trainer import EpochResult, evaluate_accuracy
@@ -116,6 +117,8 @@ class DataParallelTrainer:
         drop_last: bool = False,
         prefetch: bool = False,
         start_method: str = "fork",
+        step_timeout_s: float = DEFAULT_TIMEOUT_S,
+        max_step_retries: int = 2,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -147,6 +150,12 @@ class DataParallelTrainer:
         self.drop_last = bool(drop_last)
         self.prefetch = bool(prefetch)
         self.start_method = start_method
+        #: Watchdog: per-step reply deadline and how many hung-worker
+        #: recoveries (kill + respawn + retry from synced weights) to attempt
+        #: before giving up with the original :class:`WorkerHungError`.
+        self.step_timeout_s = float(step_timeout_s)
+        self.max_step_retries = int(max_step_retries)
+        self.step_retries = 0
 
         if config.optimizer.lower() == "adam":
             self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
@@ -174,6 +183,9 @@ class DataParallelTrainer:
                   labels={"worker": str(rank)})
             for rank in range(num_workers)
         ]
+        self._retry_counter = counter(
+            "repro_train_step_retries_total",
+            help="Train steps retried after a hung-worker recovery")
 
     # -- pool lifecycle ----------------------------------------------------------
 
@@ -230,7 +242,46 @@ class DataParallelTrainer:
                           "total_n": total_n})
 
     def _drive_step(self, pool: WorkerPool, total_n: int,
-                    make_msg: Callable[[int], Dict[str, object]]) -> Dict[str, float]:
+                    make_msg: Callable[[int], Dict[str, object]],
+                    on_retry: Optional[Callable[[], None]] = None,
+                    ) -> Dict[str, float]:
+        """One step with watchdog recovery: retry after hung-worker respawns.
+
+        The optimizer has not stepped when a hang surfaces (gradients are
+        still in the workers' rows), so a retry re-runs the *same* update
+        from the same synced weights — recovered runs reproduce the
+        fault-free loss curve exactly.  ``on_retry`` restores any per-step
+        worker state the retry needs (epoch mode rewinds the shard
+        iterators, since surviving workers already consumed their batch).
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._drive_step_once(pool, total_n, make_msg)
+            except WorkerHungError as hung:
+                while True:
+                    attempts += 1
+                    if attempts > self.max_step_retries:
+                        pool.close(graceful=False)
+                        raise hung
+                    tracer = get_tracer()
+                    with tracer.span("train.worker_restart", rank=hung.rank,
+                                     attempt=attempts):
+                        pool.restart_worker(hung.rank)
+                        try:
+                            pool.resync(timeout=self.step_timeout_s)
+                            if on_retry is not None:
+                                on_retry()
+                        except WorkerHungError as again:
+                            hung = again  # another rank hung during recovery
+                            continue
+                    self.step_retries += 1
+                    self._retry_counter.inc()
+                    break
+
+    def _drive_step_once(self, pool: WorkerPool, total_n: int,
+                         make_msg: Callable[[int], Dict[str, object]],
+                         ) -> Dict[str, float]:
         """Broadcast one step command, all-reduce, optimizer update, telemetry."""
         tracer = get_tracer()
         with tracer.span("train.step", compiled=self.compile, parallel=True,
@@ -239,7 +290,7 @@ class DataParallelTrainer:
             pool.sync_weights()
             for rank in range(pool.num_workers):
                 pool.send(rank, make_msg(rank))
-            replies = pool.gather()
+            replies = pool.gather(timeout=self.step_timeout_s)
             self._emit_worker_spans(tracer, step_span, replies)
 
             with tracer.span("train.allreduce", workers=pool.num_workers):
@@ -318,7 +369,9 @@ class DataParallelTrainer:
                     batch_size, n - step * batch_size)
                 stats = self._drive_step(
                     pool, total_n,
-                    lambda rank: {"cmd": "epoch_step", "total_n": total_n})
+                    lambda rank: {"cmd": "epoch_step", "total_n": total_n},
+                    on_retry=lambda step=step: self._rewind_epoch(
+                        pool, epoch, step))
                 losses.append(stats["loss"])
                 accuracies.append(stats["accuracy"])
                 self.step_loss_history.append(stats["loss"])
@@ -341,6 +394,18 @@ class DataParallelTrainer:
             self._cursor = {"epoch": epoch + 1, "batch": 0}
             self.history.append(result)
         return result
+
+    def _rewind_epoch(self, pool: WorkerPool, epoch: int, step: int) -> None:
+        """Rewind every worker's shard iterators to ``step`` after a recovery.
+
+        The respawned worker holds no iterator at all, and the surviving
+        workers already consumed their shard of the aborted batch; an
+        ``epoch_start`` re-derives the epoch permutation (seed + epoch) and
+        fast-forwards ``step`` batches, so the retried step sees exactly the
+        data the aborted one did.
+        """
+        pool.broadcast({"cmd": "epoch_start", "epoch": epoch, "skip": step})
+        pool.gather(timeout=self.step_timeout_s)
 
     def fit(self, train_dataset: Optional[Dataset] = None,
             epochs: Optional[int] = None, verbose: bool = False) -> List[EpochResult]:

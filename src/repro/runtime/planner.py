@@ -29,6 +29,8 @@ import numpy as np
 from typing import Dict, List, Optional, Tuple
 
 from repro.autograd.tensor import _unbroadcast
+from repro.resilience import faults
+from repro.resilience.errors import NumericFault
 from repro.runtime.arena import BufferArena
 from repro.runtime.graph import INTER, LEAF, CaptureError, GraphCapture
 from repro.runtime.ops import get_op
@@ -51,7 +53,8 @@ class ExecutionPlan:
     """
 
     def __init__(self, capture: GraphCapture, arena: BufferArena,
-                 profile: bool = False, backend: str = "numpy"):
+                 profile: bool = False, backend: str = "numpy",
+                 guard_numerics: bool = False):
         from repro.runtime.backends import resolve_backend
 
         self._arena = arena
@@ -129,6 +132,14 @@ class ExecutionPlan:
             self._seed = np.ones(loss.shape, dtype=loss.dtype)
         self._sealed = False
         self.replay_count = 0
+        #: Numeric guard policy: check every node's forward output for
+        #: non-finite values and raise :class:`NumericFault` (see
+        #: :meth:`_run_forward_guarded`).  Quarantined kernel labels land in
+        #: :attr:`quarantined` and move from native to fallback accounting.
+        self.guard_numerics = bool(guard_numerics)
+        self.quarantined: List[str] = []
+        self._poison_target: Optional[int] = None
+        self._poison_value = float("nan")
 
     @staticmethod
     def _node_label(node) -> str:
@@ -541,6 +552,11 @@ class ExecutionPlan:
         """
         if not self._sealed:
             self.seal()
+        injector = faults.get_injector()
+        if injector is not None and self._poison_target is None:
+            action = injector.maybe("runtime.nan")
+            if action is not None:
+                self._arm_poison(action)
         self.bind_inputs(inputs)
         vals = self._vals
         for index, tensor in self._leaf_slots:
@@ -590,6 +606,11 @@ class ExecutionPlan:
         return outputs, timings
 
     def _run_forward(self) -> None:
+        if self.guard_numerics or self._poison_target is not None:
+            # Guarded (and fault-poisoned) replays run the serial checked
+            # path; guards trade the level-parallel overlap for detection.
+            self._run_forward_guarded()
+            return
         if self._level_groups is not None:
             if self._profile:
                 # Per-kernel wall-clock attribution needs serial execution:
@@ -651,6 +672,104 @@ class ExecutionPlan:
                 if drops is not None:
                     for index in drops:
                         vals[index] = None
+
+    # -- numeric guards / fault quarantine ----------------------------------------
+
+    def _arm_poison(self, action: Dict[str, object]) -> None:
+        """Arm one injected non-finite emission (``runtime.nan`` fault site).
+
+        The poisoned node is chosen deterministically: an explicit
+        ``position``, else the first node whose label contains ``label``,
+        else the first native-compiled node (the scenario the quarantine
+        machinery exists for), else the first float-producing node.
+        """
+        position = action.get("position")
+        if position is None:
+            want = action.get("label")
+            candidates: List[int] = []
+            if want is not None:
+                candidates = [p for p, label in enumerate(self._fwd_labels)
+                              if str(want) in label
+                              and self.nodes[p].out is not None]
+            if not candidates:
+                candidates = sorted(self._native)
+            if not candidates:
+                candidates = [p for p, node in enumerate(self.nodes)
+                              if node.out is not None]
+            if not candidates:  # pragma: no cover - plans always have nodes
+                return
+            position = candidates[0]
+        self._poison_target = int(position)
+        self._poison_value = float(action.get("value", "nan"))
+
+    def _run_forward_guarded(self) -> None:
+        """Serial forward with per-node non-finite detection.
+
+        Raises a typed :class:`NumericFault` naming the first offending
+        node; the front-ends (:mod:`repro.runtime.replay`) use
+        ``fault.native`` to decide between quarantining the kernel (native
+        — retry on the reference path) and propagating (reference — a real
+        numerical problem in model or data).  Injected poison is written
+        into the target node's output *after* it runs, so detection
+        exercises the same path a genuinely misbehaving kernel would.
+        """
+        vals = self._vals
+        nodes = self.nodes
+        check = self.guard_numerics
+        for position, step in enumerate(self._fwd_steps):
+            step()
+            out = nodes[position].out
+            if out is None:
+                continue
+            if self._poison_target == position:
+                self._poison_target = None
+                value = vals[out]
+                if (value is not None and value.size
+                        and np.issubdtype(value.dtype, np.floating)):
+                    value.flat[0] = self._poison_value
+            if not check:
+                continue
+            value = vals[out]
+            if (value is not None
+                    and np.issubdtype(value.dtype, np.floating)
+                    and not np.isfinite(value).all()):
+                raise NumericFault(self._fwd_labels[position], position,
+                                   position in self._native)
+        if self._level_groups is not None:
+            # Serial stand-in for the parallel runner (see _run_profiled):
+            # apply its level-barrier drops so liveness behaves identically.
+            for level, _, _ in self._level_groups:
+                drops = self._level_drops.get(level)
+                if drops is not None:
+                    for index in drops:
+                        vals[index] = None
+
+    def quarantine_node(self, position: int) -> bool:
+        """Demote one native-compiled node to its reference kernel, in place.
+
+        Returns ``False`` when the node has no native kernel (nothing to
+        quarantine).  The swap rebuilds just that node's forward step (and
+        its backward step, when scheduled) and moves the node from native to
+        fallback accounting, so ``runtime_stats()`` / the backend gauges
+        show exactly which kernel was benched — extending the per-node
+        fallback bookkeeping native backends already use at plan time.
+        """
+        kernel = self._native.pop(position, None)
+        if kernel is None:
+            return False
+        node = self.nodes[position]
+        self._native_by_id.pop(id(node), None)
+        self.native_nodes -= 1
+        self.fallback_nodes += 1
+        self.quarantined.append(self._fwd_labels[position])
+        self._fwd_steps[position] = self._make_forward_step(position, node)
+        self._fwd_labels[position] = self._decorated_label(node, None)
+        for index, bwd_node in enumerate(self._bwd_nodes):
+            if bwd_node is node:
+                self._bwd_steps[index] = self._make_backward_step(bwd_node)
+                self._bwd_labels[index] = (
+                    "bwd:" + self._decorated_label(bwd_node, None))
+        return True
 
     def backward_from_capture(self) -> None:
         """Run the planned backward on the values recorded during capture.
@@ -765,6 +884,7 @@ class ExecutionPlan:
             "replays": float(self.replay_count),
             "native_nodes": float(self.native_nodes),
             "fallback_nodes": float(self.fallback_nodes),
+            "quarantined_nodes": float(len(self.quarantined)),
         }
         if self._levels is not None:
             stats["parallel_levels"] = float(self._levels[-1] + 1 if self._levels else 0)
@@ -774,7 +894,8 @@ class ExecutionPlan:
 
 def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None,
                  optimize: str = "O0", parallel_workers: int = 0,
-                 profile: bool = False, backend: str = "numpy") -> ExecutionPlan:
+                 profile: bool = False, backend: str = "numpy",
+                 guard_numerics: bool = False) -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` from a finished capture.
 
     ``optimize`` selects the plan-time graph-optimizer level (``"O0"`` —
@@ -794,4 +915,4 @@ def compile_plan(capture: GraphCapture, arena: Optional[BufferArena] = None,
     """
     optimize_capture(capture, optimize, parallel_workers=parallel_workers)
     return ExecutionPlan(capture, arena or BufferArena(), profile=profile,
-                         backend=backend)
+                         backend=backend, guard_numerics=guard_numerics)

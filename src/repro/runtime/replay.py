@@ -36,7 +36,9 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.obs import metrics as _metrics
+from repro.obs.trace import event as _span_event
 from repro.obs.trace import get_tracer
+from repro.resilience.errors import NumericFault
 from repro.runtime.arena import BufferArena
 from repro.runtime.graph import CaptureError, GraphCapture
 from repro.runtime.planner import compile_plan
@@ -59,7 +61,7 @@ def _sum_backend_field(field: str) -> float:
 
 
 for _field in ("native_nodes", "fallback_nodes", "native_replays",
-               "fallback_replays"):
+               "fallback_replays", "quarantined_nodes"):
     _metrics.gauge(f"repro_runtime_{_field}",
                    f"Compiled-runtime backend accounting: {_field} summed "
                    f"over live runtimes",
@@ -81,7 +83,8 @@ class _CompiledBase:
 
     def __init__(self, arena: Optional[BufferArena] = None, optimize: str = "O0",
                  profile: bool = False, parallel_workers: int = 0,
-                 backend: str = "numpy", dtype=None):
+                 backend: str = "numpy", dtype=None,
+                 guard_numerics: bool = False):
         from repro.runtime.backends import get_backend
         from repro.runtime.optimizer import OPT_LEVELS
 
@@ -97,6 +100,11 @@ class _CompiledBase:
         self.optimize = optimize
         self.profile = bool(profile)
         self.parallel_workers = int(parallel_workers)
+        #: Numeric guard policy: per-node non-finite detection during replay
+        #: (typed :class:`NumericFault`) plus automatic quarantine of a
+        #: misbehaving *native* kernel to the numpy reference path.
+        self.guard_numerics = bool(guard_numerics)
+        self.quarantine_count = 0
         self._plans: Dict[tuple, tuple] = {}
         self.capture_count = 0
         self.capture_time_s = 0.0
@@ -114,12 +122,39 @@ class _CompiledBase:
             "repro_runtime_eager_total", "Eager fallbacks (uncompilable state)")
         self._m_replay_seconds = _metrics.histogram(
             "repro_runtime_replay_seconds", "Replay wall-clock seconds")
+        self._m_quarantines = _metrics.counter(
+            "repro_runtime_quarantines_total",
+            "Native kernels quarantined to the numpy reference path after a "
+            "non-finite output")
         _LIVE_RUNTIMES.add(self)
 
     def _compile(self, capture: GraphCapture):
         return compile_plan(capture, self.arena, optimize=self.optimize,
                             parallel_workers=self.parallel_workers,
-                            profile=self.profile, backend=self.backend)
+                            profile=self.profile, backend=self.backend,
+                            guard_numerics=self.guard_numerics)
+
+    def _checked_replay(self, plan, replay_fn):
+        """Run ``replay_fn`` under the numeric-guard quarantine policy.
+
+        A :class:`NumericFault` from a *native* kernel demotes exactly that
+        node to the numpy reference path (extending the planner's per-node
+        fallback accounting) and retries the replay once — the fault was
+        raised during forward, before any backward or replay-count side
+        effects, so the retry re-runs the step from scratch.  A fault from a
+        reference kernel (or a second fault on the retry) is genuine bad
+        numerics and propagates to the caller.
+        """
+        try:
+            return replay_fn()
+        except NumericFault as fault:
+            if not (fault.native and plan.quarantine_node(fault.position)):
+                raise
+            self.quarantine_count += 1
+            self._m_quarantines.inc()
+            _span_event("runtime.quarantine", label=fault.label,
+                        position=fault.position)
+            return replay_fn()
 
     def _backend_stats(self) -> Dict[str, object]:
         """Backend accounting: what was requested, what runs, and how often
@@ -140,6 +175,7 @@ class _CompiledBase:
                                   for plan in plans),
             "fallback_replays": sum(plan.replay_count * plan.fallback_nodes
                                     for plan in plans),
+            "quarantined_nodes": sum(len(plan.quarantined) for plan in plans),
         }
 
     def invalidate(self) -> None:
@@ -205,9 +241,11 @@ class CompiledTrainStep(_CompiledBase):
 
     def __init__(self, model, loss_fn: Callable, step_mode: Optional[str] = None,
                  arena: Optional[BufferArena] = None, optimize: str = "O0",
-                 profile: bool = False, backend: str = "numpy", dtype=None):
+                 profile: bool = False, backend: str = "numpy", dtype=None,
+                 guard_numerics: bool = False):
         super().__init__(arena, optimize=optimize, profile=profile,
-                         backend=backend, dtype=dtype)
+                         backend=backend, dtype=dtype,
+                         guard_numerics=guard_numerics)
         self.model = model
         self.loss_fn = loss_fn
         self.step_mode = step_mode
@@ -250,12 +288,14 @@ class CompiledTrainStep(_CompiledBase):
             with tracer.span("runtime.replay", kind="train",
                              backend=plan.backend, optimize=self.optimize) as sp:
                 if tracer.sample_kernels():
-                    outputs, timings = plan.replay_profiled(inputs)
+                    outputs, timings = self._checked_replay(
+                        plan, lambda: plan.replay_profiled(inputs))
                     tracer.add_timed_children(sp, _kernel_children(timings))
                 else:
-                    outputs = plan.replay(inputs)
+                    outputs = self._checked_replay(
+                        plan, lambda: plan.replay(inputs))
         else:
-            outputs = plan.replay(inputs)
+            outputs = self._checked_replay(plan, lambda: plan.replay(inputs))
         loss = plan.loss_value()
         elapsed = time.perf_counter() - start
         self.replay_count += 1
@@ -317,10 +357,11 @@ class CompiledForward(_CompiledBase):
     def __init__(self, fn: Callable[[Tensor], Union[Tensor, Sequence[Tensor]]],
                  owner=None, arena: Optional[BufferArena] = None,
                  optimize: str = "O0", profile: bool = False,
-                 parallel_workers: int = 0, backend: str = "numpy", dtype=None):
+                 parallel_workers: int = 0, backend: str = "numpy", dtype=None,
+                 guard_numerics: bool = False):
         super().__init__(arena, optimize=optimize, profile=profile,
                          parallel_workers=parallel_workers, backend=backend,
-                         dtype=dtype)
+                         dtype=dtype, guard_numerics=guard_numerics)
         self.fn = fn
         self.owner = owner
 
@@ -353,13 +394,17 @@ class CompiledForward(_CompiledBase):
             with tracer.span("runtime.replay", kind="forward",
                              backend=plan.backend, optimize=self.optimize) as sp:
                 if tracer.sample_kernels():
-                    outputs, timings = plan.replay_profiled({"input": array},
-                                                            grads=False)
+                    outputs, timings = self._checked_replay(
+                        plan,
+                        lambda: plan.replay_profiled({"input": array},
+                                                     grads=False))
                     tracer.add_timed_children(sp, _kernel_children(timings))
                 else:
-                    outputs = plan.replay({"input": array}, grads=False)
+                    outputs = self._checked_replay(
+                        plan, lambda: plan.replay({"input": array}, grads=False))
         else:
-            outputs = plan.replay({"input": array}, grads=False)
+            outputs = self._checked_replay(
+                plan, lambda: plan.replay({"input": array}, grads=False))
         elapsed = time.perf_counter() - start
         self.replay_count += 1
         self.replay_time_s += elapsed

@@ -207,6 +207,17 @@ class MicroBatcher:
                 tracer.finish_span(spans[0])
         if not live:
             return
+        from repro.resilience import faults
+
+        injector = faults.get_injector()
+        if injector is not None:
+            # Queue-stall fault: the worker sits on a formed batch before the
+            # fused forward, so queued requests age exactly as they would
+            # behind a wedged engine (deadline/backpressure behaviour under
+            # test, nothing here crashes).
+            stall = injector.maybe("batcher.stall", model=self.name or "")
+            if stall is not None:
+                time.sleep(float(stall.get("seconds", 0.05)))
         start = time.monotonic()
         start_perf = time.perf_counter()
         # One shared batch span, parented on the first traced request (the

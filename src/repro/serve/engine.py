@@ -93,6 +93,13 @@ class InferenceEngine:
         the snapshot's current precision.  The snapshot model is recast in
         place (safe under ``copy_model=True``) and request payloads are cast
         to match.
+    guard_numerics:
+        Numeric-guard policy (:mod:`repro.resilience`).  Compiled replays
+        check every node output for NaN/Inf (quarantining a misbehaving
+        native kernel to the reference path); the eager path checks the final
+        logits.  Genuinely bad numerics raise a typed
+        :class:`~repro.resilience.errors.NumericFault` instead of handing a
+        caller NaN logits.
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class InferenceEngine:
         profile: bool = False,
         backend: str = "numpy",
         dtype=None,
+        guard_numerics: bool = False,
     ):
         if not isinstance(model, SpikingModel):
             raise TypeError(
@@ -142,6 +150,7 @@ class InferenceEngine:
         self._lock = threading.Lock()
         self._requests_served = 0
         self.compile = bool(compile)
+        self.guard_numerics = bool(guard_numerics)
         self._compiled = None
         self._streaming = None
         self._pad_buffers = {}
@@ -160,6 +169,7 @@ class InferenceEngine:
                 profile=profile,
                 backend=backend,
                 dtype=dtype,
+                guard_numerics=guard_numerics,
             )
 
     # -- properties --------------------------------------------------------------
@@ -207,6 +217,11 @@ class InferenceEngine:
                     with no_grad():
                         outputs = self.model.run_timesteps(batch, step_mode="fused")
                         logits = sum(o.data for o in outputs) / len(outputs)
+                    if self.guard_numerics and not np.isfinite(logits).all():
+                        from repro.resilience.errors import NumericFault
+
+                        raise NumericFault("engine.logits", -1, False,
+                                           detail="non-finite serving logits")
                 self._requests_served += logits.shape[0]
         return logits[0] if single else logits
 

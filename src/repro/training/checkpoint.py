@@ -1,35 +1,81 @@
-"""Elastic checkpoint/resume for training runs.
+"""Elastic, durable checkpoint/resume for training runs.
 
-One pickle file bundles everything a resumed run needs to continue the
-*exact* loss curve of the original: model ``state_dict`` (parameters and
-buffers, so BN running statistics survive), optimizer state (SGD velocity
-/ Adam moments and step counter), scheduler position, the legacy NumPy
-global RNG state (stochastic layers/augments draw from it), and a data
-cursor ``(epoch, batch)`` marking how far the shuffled stream was
-consumed.  Data order itself needs no serialised RNG: loaders re-derive
-the epoch's permutation from ``DataLoader.set_epoch`` (seed + epoch), so a
-cursor is all it takes to fast-forward — which is also what makes resume
-*elastic*: a checkpoint written by a 4-worker run restores into 1- or
-2-worker trainers, because worker replicas hold no optimisation state of
-their own.
+One file bundles everything a resumed run needs to continue the *exact*
+loss curve of the original: model ``state_dict`` (parameters and buffers,
+so BN running statistics survive), optimizer state (SGD velocity / Adam
+moments and step counter), scheduler position, the legacy NumPy global RNG
+state (stochastic layers/augments draw from it), and a data cursor
+``(epoch, batch)`` marking how far the shuffled stream was consumed.  Data
+order itself needs no serialised RNG: loaders re-derive the epoch's
+permutation from ``DataLoader.set_epoch`` (seed + epoch), so a cursor is
+all it takes to fast-forward — which is also what makes resume *elastic*:
+a checkpoint written by a 4-worker run restores into 1- or 2-worker
+trainers, because worker replicas hold no optimisation state of their own.
 
-The format is intentionally plain (a dict, protocol-default pickle): no
-custom classes beyond NumPy arrays, so checkpoints stay loadable as the
-trainer implementations evolve.
+Durability
+----------
+The on-disk format is a small framed container::
+
+    REPROCKPT2 | sha256(payload) (32 bytes) | pickle(payload)
+
+Writes are atomic (tmp file + ``os.replace``), so a crash mid-save never
+truncates the previous checkpoint; the checksum makes *silent* corruption
+(truncation after the rename, a flipped bit on a flaky disk) detectable at
+load time as a typed :class:`~repro.resilience.errors.CheckpointCorruptError`
+instead of an unpickling error — or worse, a model that resumes from
+garbage.  :func:`verify_checkpoint` checks a file without loading it into
+a model, and :class:`CheckpointManager` adds keep-K rotation with
+:meth:`~CheckpointManager.load_latest_valid`, which walks candidates
+newest-first and skips corrupt files.  Files written by the pre-checksum
+format (bare pickle) still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import re
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["save_training_state", "load_training_state", "CHECKPOINT_VERSION"]
+from repro.resilience import faults
+from repro.resilience.errors import CheckpointCorruptError
+
+__all__ = ["save_training_state", "load_training_state", "verify_checkpoint",
+           "CheckpointManager", "CheckpointCorruptError", "CHECKPOINT_VERSION",
+           "CHECKPOINT_MAGIC"]
 
 CHECKPOINT_VERSION = 1
+
+#: Frame header of the checksummed format.  Files that do not start with it
+#: are treated as legacy bare-pickle checkpoints.
+CHECKPOINT_MAGIC = b"REPROCKPT2"
+
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
+
+def _corrupt_bytes(blob: bytes, action: dict) -> Tuple[bytes, bool]:
+    """Apply an injected ``checkpoint.corrupt`` action to the framed bytes.
+
+    Returns ``(mutated_blob, write_file)``; ``write_file=False`` models the
+    partial-write crash *between* the tmp write and the rename, where the
+    final path never appears at all.
+    """
+    mode = action.get("mode", "truncate")
+    if mode == "partial":
+        return blob, False
+    if mode == "bitflip":
+        offset = int(action.get("offset", len(blob) // 2))
+        offset = min(max(offset, 0), len(blob) - 1)
+        mutated = bytearray(blob)
+        mutated[offset] ^= 1 << int(action.get("bit", 0))
+        return bytes(mutated), True
+    # truncate: keep a prefix so the file exists but fails its checksum.
+    keep = int(action.get("keep", max(1, len(blob) // 2)))
+    return blob[:keep], True
 
 
 def save_training_state(
@@ -55,13 +101,32 @@ def save_training_state(
         "cursor": dict(cursor or {}),
         "extra": dict(extra or {}),
     }
+    payload = pickle.dumps(state)
+    blob = CHECKPOINT_MAGIC + hashlib.sha256(payload).digest() + payload
+
+    write_file = True
+    injector = faults.get_injector()
+    if injector is not None:
+        action = injector.maybe("checkpoint.corrupt", path=path)
+        if action is not None:
+            blob, write_file = _corrupt_bytes(blob, action)
+            if not write_file:
+                # Crash between tmp write and rename: the tmp file is left
+                # behind (as a real crash would) and the target untouched.
+                directory = os.path.dirname(os.path.abspath(path)) or "."
+                fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                                suffix=".ckpt.tmp")
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                return path
+
     # Write-then-rename so a crash mid-save never truncates the previous
     # checkpoint — the whole point of checkpointing is surviving kills.
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
     try:
         with os.fdopen(fd, "wb") as handle:
-            pickle.dump(state, handle)
+            handle.write(blob)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -70,6 +135,42 @@ def save_training_state(
             pass
         raise
     return path
+
+
+def _read_payload(path: str) -> bytes:
+    """Return the verified pickle payload of ``path`` or raise typed."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        raise CheckpointCorruptError(path, "file missing")
+    if not blob.startswith(CHECKPOINT_MAGIC):
+        # Legacy bare-pickle checkpoint: no integrity frame to verify.
+        return blob
+    framed = blob[len(CHECKPOINT_MAGIC):]
+    if len(framed) < _DIGEST_BYTES:
+        raise CheckpointCorruptError(path, "truncated before checksum")
+    digest, payload = framed[:_DIGEST_BYTES], framed[_DIGEST_BYTES:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointCorruptError(path, "checksum mismatch")
+    return payload
+
+
+def verify_checkpoint(path: str) -> bool:
+    """``True`` iff ``path`` exists and passes its integrity check.
+
+    Legacy (pre-checksum) files verify only that they unpickle to a dict
+    with the expected version — the strongest check their format allows.
+    """
+    try:
+        payload = _read_payload(path)
+        state = pickle.loads(payload)
+    except CheckpointCorruptError:
+        return False
+    except Exception:
+        return False
+    return (isinstance(state, dict)
+            and state.get("version") == CHECKPOINT_VERSION)
 
 
 def load_training_state(
@@ -83,10 +184,17 @@ def load_training_state(
 
     Every target is optional: pass only the objects being resumed (a
     serving process might restore just the model).  Returns the raw
-    checkpoint dict so callers can read ``cursor`` / ``extra``.
+    checkpoint dict so callers can read ``cursor`` / ``extra``.  Raises
+    :class:`CheckpointCorruptError` if the file fails its checksum or does
+    not parse.
     """
-    with open(path, "rb") as handle:
-        state = pickle.load(handle)
+    payload = _read_payload(path)
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointCorruptError(path, f"unreadable payload: {exc}")
+    if not isinstance(state, dict):
+        raise CheckpointCorruptError(path, "payload is not a checkpoint dict")
     version = state.get("version")
     if version != CHECKPOINT_VERSION:
         raise ValueError(f"unsupported checkpoint version {version!r} "
@@ -104,3 +212,97 @@ def load_training_state(
     if restore_numpy_random and state.get("numpy_random") is not None:
         np.random.set_state(state["numpy_random"])
     return state
+
+
+class CheckpointManager:
+    """Keep-K rotation over numbered checkpoints in one directory.
+
+    Files are named ``<prefix>-<index>.ckpt`` with a monotonically
+    increasing index, so "latest" is an integer comparison rather than an
+    mtime race.  :meth:`load_latest_valid` is the recovery entry point: it
+    walks candidates newest-first, skips any file that fails its integrity
+    check, and restores the newest valid one — so a run whose final save
+    was truncated by a crash resumes from the save before it instead of
+    dying on an unpickling error.
+    """
+
+    def __init__(self, directory: str, prefix: str = "ckpt", keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = os.path.abspath(directory)
+        self.prefix = str(prefix)
+        self.keep = int(keep)
+        os.makedirs(self.directory, exist_ok=True)
+        self._pattern = re.compile(
+            re.escape(self.prefix) + r"-(\d+)\.ckpt$")
+
+    # -- naming -------------------------------------------------------------------
+
+    def _indexed(self) -> List[Tuple[int, str]]:
+        """``(index, path)`` pairs sorted newest-first."""
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            match = self._pattern.match(name)
+            if match:
+                entries.append((int(match.group(1)),
+                                os.path.join(self.directory, name)))
+        entries.sort(reverse=True)
+        return entries
+
+    def paths(self) -> List[str]:
+        """Checkpoint paths, newest first."""
+        return [path for _, path in self._indexed()]
+
+    def next_path(self) -> str:
+        indexed = self._indexed()
+        next_index = indexed[0][0] + 1 if indexed else 1
+        return os.path.join(self.directory,
+                            f"{self.prefix}-{next_index}.ckpt")
+
+    # -- save/load ----------------------------------------------------------------
+
+    def save(self, model, optimizer=None, scheduler=None, cursor=None,
+             extra=None) -> str:
+        """Write the next numbered checkpoint and prune beyond ``keep``."""
+        path = save_training_state(self.next_path(), model,
+                                   optimizer=optimizer, scheduler=scheduler,
+                                   cursor=cursor, extra=extra)
+        for _, old in self._indexed()[self.keep:]:
+            try:
+                os.unlink(old)
+            except OSError:
+                pass
+        return path
+
+    def latest_valid(self) -> Optional[str]:
+        """The newest checkpoint path that passes its integrity check."""
+        for path in self.paths():
+            if verify_checkpoint(path):
+                return path
+        return None
+
+    def load_latest_valid(self, model=None, optimizer=None, scheduler=None,
+                          restore_numpy_random: bool = True,
+                          ) -> Optional[Dict[str, object]]:
+        """Restore the newest valid checkpoint; ``None`` if none exists.
+
+        Corrupt candidates are skipped (counted in the returned dict's
+        ``"skipped"`` key alongside the winning ``"path"``), not deleted —
+        post-mortem tooling may still want the bytes.
+        """
+        skipped: List[str] = []
+        for path in self.paths():
+            if not verify_checkpoint(path):
+                skipped.append(path)
+                continue
+            state = load_training_state(
+                path, model=model, optimizer=optimizer, scheduler=scheduler,
+                restore_numpy_random=restore_numpy_random)
+            state["path"] = path
+            state["skipped"] = skipped
+            return state
+        return None

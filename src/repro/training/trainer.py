@@ -17,8 +17,11 @@ import numpy as np
 from repro.autograd.tensor import no_grad
 from repro.data.datasets import ArrayDataset, DataLoader, Dataset, EventDataset
 from repro.models.base import SpikingModel
+from repro.obs import metrics as _metrics
+from repro.obs.trace import event as _span_event
 from repro.obs.trace import get_tracer
 from repro.optim import SGD, Adam, CosineAnnealingLR
+from repro.resilience.errors import NumericFault
 from repro.snn.encoding import encode_batch
 from repro.snn.loss import mean_output_cross_entropy
 from repro.training.config import TrainingConfig
@@ -118,6 +121,18 @@ class BPTTTrainer:
         the model's current precision (float32 throughout the repo).  When
         given, the model is recast in place (:meth:`~repro.nn.module.Module.astype`)
         before the optimizer is built, and batches are cast to match.
+    guard_numerics:
+        Numeric-guard policy (:mod:`repro.resilience`).  Compiled steps check
+        every node output for NaN/Inf during replay and quarantine a
+        misbehaving native kernel to the reference path; at the trainer level
+        a step whose loss or gradients are non-finite is *skipped* (the
+        parameter update is withheld and the step excluded from epoch
+        statistics).  More than ``max_skip_steps`` consecutive skips raises a
+        typed :class:`~repro.resilience.errors.NumericFault` — persistent bad
+        numerics should fail loudly, not silently stall training.
+    max_skip_steps:
+        Bound on consecutive guard-skipped steps before the trainer raises
+        (only meaningful with ``guard_numerics=True``).
     """
 
     def __init__(
@@ -131,6 +146,8 @@ class BPTTTrainer:
         profile: bool = False,
         backend: str = "numpy",
         dtype=None,
+        guard_numerics: bool = False,
+        max_skip_steps: int = 3,
     ):
         self.model = model
         self.config = config
@@ -140,6 +157,10 @@ class BPTTTrainer:
         self.optimize = optimize
         self.profile = bool(profile)
         self.backend = backend
+        self.guard_numerics = bool(guard_numerics)
+        self.max_skip_steps = int(max_skip_steps)
+        self.skipped_steps = 0
+        self._consecutive_skips = 0
         if self.compile and backend != "auto":
             from repro.runtime.backends import get_backend
 
@@ -180,12 +201,47 @@ class BPTTTrainer:
                 loss = self.loss_fn(outputs, labels)
             with tracer.span("train.backward"):
                 loss.backward()
+            if self._guard_skip(float(loss.data)):
+                return {"loss": float(loss.data), "accuracy": 0.0, "skipped": 1.0}
             with tracer.span("train.optimizer"):
                 self.optimizer.step()
 
             mean_logits = sum(o.data for o in outputs) / len(outputs)
             accuracy = float((np.argmax(mean_logits, axis=1) == labels).mean())
             return {"loss": float(loss.data), "accuracy": accuracy}
+
+    def _guard_skip(self, loss_value: float) -> bool:
+        """``True`` → withhold this step's update (non-finite loss or grads).
+
+        Only active under ``guard_numerics``.  The gradients are zeroed so a
+        later ``optimizer.step()`` cannot apply the poisoned update, and more
+        than ``max_skip_steps`` *consecutive* skips escalates to a typed
+        :class:`NumericFault` instead of silently stalling training.
+        """
+        if not self.guard_numerics:
+            return False
+        bad = not np.isfinite(loss_value)
+        if not bad:
+            for param in self.model.parameters():
+                grad = param.grad
+                if grad is not None and not np.isfinite(grad).all():
+                    bad = True
+                    break
+        if not bad:
+            self._consecutive_skips = 0
+            return False
+        self.skipped_steps += 1
+        self._consecutive_skips += 1
+        _metrics.counter("repro_train_steps_skipped_total",
+                         "Train steps skipped by the numeric guard").inc()
+        _span_event("train.step_skipped", loss=loss_value,
+                    consecutive=self._consecutive_skips)
+        if self._consecutive_skips > self.max_skip_steps:
+            raise NumericFault(
+                "train.step", -1, False,
+                detail=f"{self._consecutive_skips} consecutive non-finite steps")
+        self.optimizer.zero_grad()
+        return True
 
     def _compiled_step(self, batch: np.ndarray, labels: np.ndarray) -> Dict[str, float]:
         """Capture/replay variant of :meth:`train_step` (same contract)."""
@@ -197,12 +253,16 @@ class BPTTTrainer:
                                                optimize=self.optimize,
                                                profile=self.profile,
                                                backend=self.backend,
-                                               dtype=self.dtype)
+                                               dtype=self.dtype,
+                                               guard_numerics=self.guard_numerics)
         self.optimizer.zero_grad()
         # The forward+backward span (runtime.replay / capture / eager) is
         # opened inside CompiledTrainStep.run, with per-kernel children when
         # sampling is on; only the eager parameter update is timed here.
         loss, logits_per_step, replayed = self._compiled.run(batch, labels)
+        if self._guard_skip(loss):
+            return {"loss": loss, "accuracy": 0.0, "replayed": float(replayed),
+                    "skipped": 1.0}
         with get_tracer().span("train.optimizer"):
             self.optimizer.step()
 
@@ -250,6 +310,8 @@ class BPTTTrainer:
                     except StopIteration:
                         break
                 stats = self.train_step(data, labels)
+                if stats.get("skipped"):
+                    continue  # guard-skipped steps don't pollute epoch stats
                 losses.append(stats["loss"])
                 accuracies.append(stats["accuracy"])
             epoch_span.set_attr("batches", len(losses))
